@@ -1,0 +1,164 @@
+// Command objbench regenerates the paper's evaluation: every table and
+// figure of §6 plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	objbench [-fig 14|15|16|17|A1|A2|A3|all] [-scale small|medium|default] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"objinline/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, or all")
+	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.ScaleSmall
+	case "medium":
+		scale = bench.ScaleMedium
+	case "default":
+		scale = bench.ScaleDefault
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	ranAny := false
+
+	if *asJSON {
+		out := map[string]any{}
+		collect := func(name string, rows any, err error) {
+			if err != nil {
+				fatal(err)
+			}
+			out["fig"+name] = rows
+			ranAny = true
+		}
+		if run("14") {
+			rows, err := bench.Fig14(scale)
+			collect("14", rows, err)
+		}
+		if run("15") {
+			rows, err := bench.Fig15(scale)
+			collect("15", rows, err)
+		}
+		if run("16") {
+			rows, err := bench.Fig16(scale)
+			collect("16", rows, err)
+		}
+		if run("17") {
+			rows, err := bench.Fig17(scale)
+			collect("17", rows, err)
+		}
+		if run("A1") {
+			rows, err := bench.AblationLayout(scale)
+			collect("A1", rows, err)
+		}
+		if run("A2") {
+			rows, err := bench.AblationCostModel(scale)
+			collect("A2", rows, err)
+		}
+		if run("A3") {
+			rows, err := bench.AblationTagDepth(scale)
+			collect("A3", rows, err)
+		}
+		if !ranAny {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if run("14") {
+		ranAny = true
+		rows, err := bench.Fig14(scale)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig14(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("15") {
+		ranAny = true
+		rows, err := bench.Fig15(scale)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig15(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("16") {
+		ranAny = true
+		rows, err := bench.Fig16(scale)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig16(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("17") {
+		ranAny = true
+		rows, err := bench.Fig17(scale)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig17(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("A1") {
+		ranAny = true
+		rows, err := bench.AblationLayout(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Ablation A1: inlined-array layout (OOPACK)")
+		for _, r := range rows {
+			fmt.Printf("  %-13s cycles=%d cache misses=%d\n", r.Layout, r.Cycles, r.CacheMisses)
+		}
+		fmt.Println()
+	}
+	if run("A2") {
+		ranAny = true
+		rows, err := bench.AblationCostModel(scale)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintAblationCost(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("A3") {
+		ranAny = true
+		rows, err := bench.AblationTagDepth(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Ablation A3: tag-depth cap vs fields inlined")
+		for _, r := range rows {
+			fmt.Printf("  %-14s depth=%d inlined=%d\n", r.Program, r.Depth, r.Inlined)
+		}
+		fmt.Println()
+	}
+	if !ranAny {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "objbench:", err)
+	os.Exit(1)
+}

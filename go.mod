@@ -1,0 +1,3 @@
+module objinline
+
+go 1.24

@@ -1,0 +1,532 @@
+package analysis
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"objinline/internal/ir"
+	"objinline/internal/lower"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Tags enables the object-inlining use-specialization analysis: field
+	// tags are tracked and contours are additionally split on tag
+	// confluences. Off, the analysis is the baseline Concert type
+	// inference (the paper's "without inlining" configuration).
+	Tags bool
+	// MaxPasses bounds the iterative refinement (default 8).
+	MaxPasses int
+	// MaxContours bounds total method contours per pass (default 6000);
+	// on overflow the selection function stops splitting (conservative).
+	MaxContours int
+	// TagDepth caps tag nesting before collapsing to Top (default 3).
+	TagDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 8
+	}
+	if o.MaxContours == 0 {
+		o.MaxContours = 6000
+	}
+	if o.TagDepth == 0 {
+		o.TagDepth = 3
+	}
+	return o
+}
+
+// Result is the final analysis state consumed by cloning and the inlining
+// decision.
+type Result struct {
+	Prog *ir.Program
+	Opts Options
+
+	Contours map[*ir.Func][]*MethodContour
+	Mcs      []*MethodContour
+	Objs     []*ObjContour
+	Arrs     []*ArrContour
+	Globals  []VarState
+
+	Passes     int
+	Overflowed bool
+}
+
+// Analyze runs the context-sensitive flow analysis to a fixpoint,
+// iteratively refining contour-selection policies between passes (the
+// demand-driven splitting of §3.2.1).
+func Analyze(prog *ir.Program, opts Options) *Result {
+	a := &analyzer{
+		prog:       prog,
+		opts:       opts.withDefaults(),
+		policies:   make(map[*ir.Func]*fnPolicy),
+		classSplit: make(map[*ir.Class]bool),
+		arrSplit:   make(map[int]bool),
+	}
+	for pass := 1; ; pass++ {
+		a.runPass()
+		if pass >= a.opts.MaxPasses || !a.updatePolicies() {
+			return a.result(pass)
+		}
+	}
+}
+
+type analyzer struct {
+	prog *ir.Program
+	opts Options
+
+	// Cross-pass refinement state (monotone).
+	policies   map[*ir.Func]*fnPolicy
+	classSplit map[*ir.Class]bool // split object contours by creator
+	arrSplit   map[int]bool       // split array contours by creator, by site UID
+
+	// Per-pass state.
+	tt       *tagTable
+	mcs      map[string]*MethodContour
+	mcList   []*MethodContour
+	ocs      map[string]*ObjContour
+	ocList   []*ObjContour
+	acs      map[string]*ArrContour
+	acList   []*ArrContour
+	globals  []VarState
+	edges    map[edgeKey]*Edge
+	changed  bool
+	overflow bool
+	nextMC   int
+	nextOC   int
+	nextAC   int
+}
+
+type edgeKey struct {
+	from  *MethodContour
+	instr int
+	to    *MethodContour
+}
+
+func (a *analyzer) policy(fn *ir.Func) *fnPolicy {
+	p := a.policies[fn]
+	if p == nil {
+		p = &fnPolicy{}
+		a.policies[fn] = p
+	}
+	return p
+}
+
+func siteUID(fn *ir.Func, in *ir.Instr) int { return fn.ID*1_000_000 + in.ID }
+
+func (a *analyzer) resetPass() {
+	a.tt = newTagTable(a.opts.TagDepth)
+	a.mcs = make(map[string]*MethodContour)
+	a.mcList = nil
+	a.ocs = make(map[string]*ObjContour)
+	a.ocList = nil
+	a.acs = make(map[string]*ArrContour)
+	a.acList = nil
+	a.globals = make([]VarState, len(a.prog.Globals))
+	a.edges = make(map[edgeKey]*Edge)
+	a.overflow = false
+	a.nextMC, a.nextOC, a.nextAC = 0, 0, 0
+}
+
+// runPass analyzes the whole program to a fixpoint under the current
+// contour-selection policies.
+func (a *analyzer) runPass() {
+	a.resetPass()
+	if init := a.prog.FuncNamed(lower.InitFuncName); init != nil {
+		a.getMC(init, "")
+	}
+	if a.prog.Main != nil {
+		a.getMC(a.prog.Main, "")
+	}
+	const maxRounds = 1000
+	for round := 0; round < maxRounds; round++ {
+		a.changed = false
+		// The list grows while we iterate; newly created contours are
+		// evaluated within the same round.
+		for i := 0; i < len(a.mcList); i++ {
+			a.evalContour(a.mcList[i])
+		}
+		if !a.changed {
+			return
+		}
+	}
+}
+
+// getMC returns (creating if needed) the contour of fn for the given
+// context key.
+func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
+	if len(a.mcList) >= a.opts.MaxContours {
+		a.overflow = true
+		key = "" // stop splitting; merge into the base contour
+	}
+	id := fmt.Sprintf("%d|%s", fn.ID, key)
+	if mc, ok := a.mcs[id]; ok {
+		return mc
+	}
+	mc := &MethodContour{ID: a.nextMC, Fn: fn, Key: key, Regs: make([]VarState, fn.NumRegs)}
+	a.nextMC++
+	a.mcs[id] = mc
+	a.mcList = append(a.mcList, mc)
+	a.changed = true
+	return mc
+}
+
+func (a *analyzer) getOC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ObjContour {
+	key := ""
+	if a.classSplit[in.Class] {
+		key = fmt.Sprintf("c%d", mc.ID)
+	}
+	id := fmt.Sprintf("%d|%s", siteUID(fn, in), key)
+	if oc, ok := a.ocs[id]; ok {
+		return oc
+	}
+	oc := &ObjContour{
+		ID: a.nextOC, Class: in.Class, Site: in, SiteFn: fn, Key: key,
+		Fields: make([]VarState, in.Class.NumSlots()),
+	}
+	a.nextOC++
+	a.ocs[id] = oc
+	a.ocList = append(a.ocList, oc)
+	a.changed = true
+	return oc
+}
+
+func (a *analyzer) getAC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ArrContour {
+	key := ""
+	if a.arrSplit[siteUID(fn, in)] {
+		key = fmt.Sprintf("c%d", mc.ID)
+	}
+	id := fmt.Sprintf("%d|%s", siteUID(fn, in), key)
+	if ac, ok := a.acs[id]; ok {
+		return ac
+	}
+	ac := &ArrContour{ID: a.nextAC, Site: in, SiteFn: fn, Key: key}
+	a.nextAC++
+	a.acs[id] = ac
+	a.acList = append(a.acList, ac)
+	a.changed = true
+	return ac
+}
+
+// merge wraps VarState.Merge with change tracking.
+func (a *analyzer) merge(dst, src *VarState) {
+	if dst.Merge(src) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) addPrim(dst *VarState, m PrimMask) {
+	if dst.TS.AddPrim(m) {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) addTag(dst *VarState, t *Tag) {
+	if a.opts.Tags && dst.Tags.Add(t) {
+		a.changed = true
+	}
+}
+
+// siteKey builds the caller-context component of a callee contour key,
+// bounded in length so recursion terminates (deep chains hash-merge).
+func (a *analyzer) siteKey(caller *MethodContour, in *ir.Instr) string {
+	k := fmt.Sprintf("s%d.%d", caller.Fn.ID, in.ID)
+	if caller.Key != "" {
+		k = caller.Key + "/" + k
+	}
+	if len(k) > 72 {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		k = fmt.Sprintf("h%x", h.Sum32())
+	}
+	return k
+}
+
+// evalContour applies the transfer functions of every instruction in the
+// contour's function.
+func (a *analyzer) evalContour(mc *MethodContour) {
+	fn := mc.Fn
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			a.evalInstr(mc, fn, in)
+		}
+	}
+}
+
+func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
+	reg := func(r ir.Reg) *VarState { return mc.Reg(r) }
+	switch in.Op {
+	case ir.OpConstInt:
+		a.addPrim(reg(in.Dst), PInt)
+	case ir.OpConstFloat:
+		a.addPrim(reg(in.Dst), PFloat)
+	case ir.OpConstStr:
+		a.addPrim(reg(in.Dst), PStr)
+	case ir.OpConstBool:
+		a.addPrim(reg(in.Dst), PBool)
+	case ir.OpConstNil:
+		a.addPrim(reg(in.Dst), PNil)
+	case ir.OpMove:
+		a.merge(reg(in.Dst), reg(in.Args[0]))
+	case ir.OpBin:
+		a.evalBin(mc, in)
+	case ir.OpUn:
+		x := reg(in.Args[0])
+		if ir.UnOp(in.Aux) == ir.UnNot {
+			a.addPrim(reg(in.Dst), PBool)
+		} else {
+			a.addPrim(reg(in.Dst), x.TS.Prims&(PInt|PFloat))
+		}
+	case ir.OpNewObject:
+		oc := a.getOC(fn, in, mc)
+		if mc.NewObjs == nil {
+			mc.NewObjs = make(map[int]*ObjContour)
+		}
+		mc.NewObjs[in.ID] = oc
+		dst := reg(in.Dst)
+		if dst.TS.AddObj(oc) {
+			a.changed = true
+		}
+		a.addTag(dst, a.tt.noField)
+	case ir.OpNewArray:
+		ac := a.getAC(fn, in, mc)
+		if mc.NewArrs == nil {
+			mc.NewArrs = make(map[int]*ArrContour)
+		}
+		mc.NewArrs[in.ID] = ac
+		dst := reg(in.Dst)
+		if dst.TS.AddArr(ac) {
+			a.changed = true
+		}
+		a.addTag(dst, a.tt.noField)
+	case ir.OpGetField:
+		base := reg(in.Args[0])
+		dst := reg(in.Dst)
+		for _, oc := range base.TS.ObjList() {
+			fs := oc.FieldState(in.Field.Name)
+			if fs == nil {
+				continue
+			}
+			// Types flow through the field; the loaded value is tagged
+			// MakeTag(f, tag(o)) per §4.1. Content provenance is *not*
+			// unioned in: it stays recorded on the field state and is
+			// resolved on demand (Result.RepsOf), exactly as the paper's
+			// field-confluence partitions associate a content tag with
+			// each split object contour.
+			if dst.TS.Union(&fs.TS) {
+				a.changed = true
+			}
+			if a.opts.Tags {
+				for _, t := range base.Tags.List() {
+					a.addTag(dst, a.tt.makeObj(oc, in.Field.Name, t))
+				}
+			}
+		}
+	case ir.OpSetField:
+		base := reg(in.Args[0])
+		val := reg(in.Args[1])
+		for _, oc := range base.TS.ObjList() {
+			fs := oc.FieldState(in.Field.Name)
+			if fs == nil {
+				continue
+			}
+			a.merge(fs, val)
+		}
+	case ir.OpArrGet:
+		base := reg(in.Args[0])
+		dst := reg(in.Dst)
+		for _, ac := range base.TS.ArrList() {
+			if dst.TS.Union(&ac.Elem.TS) {
+				a.changed = true
+			}
+			if a.opts.Tags {
+				for _, t := range base.Tags.List() {
+					a.addTag(dst, a.tt.makeArr(ac, t))
+				}
+			}
+		}
+	case ir.OpArrSet:
+		base := reg(in.Args[0])
+		val := reg(in.Args[2])
+		for _, ac := range base.TS.ArrList() {
+			a.merge(&ac.Elem, val)
+		}
+	case ir.OpCall:
+		a.bindTopLevel(mc, fn, in)
+	case ir.OpCallStatic:
+		a.bindReceiverCall(mc, fn, in, in.Callee)
+	case ir.OpCallMethod:
+		a.bindReceiverCall(mc, fn, in, nil)
+	case ir.OpGetGlobal:
+		a.merge(reg(in.Dst), &a.globals[in.Global])
+	case ir.OpSetGlobal:
+		a.merge(&a.globals[in.Global], reg(in.Args[0]))
+	case ir.OpBuiltin:
+		a.evalBuiltin(mc, in)
+	case ir.OpReturn:
+		if len(in.Args) > 0 {
+			a.merge(&mc.Ret, reg(in.Args[0]))
+		}
+	case ir.OpJump, ir.OpBranch, ir.OpTrap:
+		// No value flow.
+	case ir.OpNewArrayInl, ir.OpArrInterior:
+		// Post-transformation ops; the analysis runs before the transform.
+	}
+}
+
+func (a *analyzer) evalBin(mc *MethodContour, in *ir.Instr) {
+	x, y := mc.Reg(in.Args[0]), mc.Reg(in.Args[1])
+	dst := mc.Reg(in.Dst)
+	switch ir.BinOp(in.Aux) {
+	case ir.BinEq, ir.BinNe, ir.BinLt, ir.BinLe, ir.BinGt, ir.BinGe:
+		a.addPrim(dst, PBool)
+	default:
+		var m PrimMask
+		if x.TS.Prims&PInt != 0 && y.TS.Prims&PInt != 0 {
+			m |= PInt
+		}
+		if (x.TS.Prims|y.TS.Prims)&PFloat != 0 {
+			m |= PFloat
+		}
+		if x.TS.Prims&PStr != 0 && y.TS.Prims&PStr != 0 && ir.BinOp(in.Aux) == ir.BinAdd {
+			m |= PStr
+		}
+		a.addPrim(dst, m)
+	}
+}
+
+func (a *analyzer) evalBuiltin(mc *MethodContour, in *ir.Instr) {
+	dst := mc.Reg(in.Dst)
+	switch ir.Builtin(in.Aux) {
+	case ir.BPrint, ir.BAssert:
+		a.addPrim(dst, PNil)
+	case ir.BSqrt, ir.BFloor, ir.BFloatOf:
+		a.addPrim(dst, PFloat)
+	case ir.BLen, ir.BIntOf, ir.BXor:
+		a.addPrim(dst, PInt)
+	case ir.BStrCat:
+		a.addPrim(dst, PStr)
+	case ir.BAbs:
+		a.addPrim(dst, mc.Reg(in.Args[0]).TS.Prims&(PInt|PFloat))
+	case ir.BMin, ir.BMax:
+		m := (mc.Reg(in.Args[0]).TS.Prims | mc.Reg(in.Args[1]).TS.Prims) & (PInt | PFloat)
+		a.addPrim(dst, m)
+	}
+}
+
+// bindTopLevel handles calls to top-level functions.
+func (a *analyzer) bindTopLevel(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
+	callee := in.Callee
+	key := ""
+	if a.policy(callee).splitBySite {
+		key = a.siteKey(mc, in)
+	}
+	cmc := a.getMC(callee, key)
+	if mc.addCallee(in.ID, cmc) {
+		a.changed = true
+	}
+	e := a.edge(mc, in, cmc)
+	for i, r := range in.Args {
+		src := mc.Reg(r)
+		a.merge(cmc.Reg(callee.ParamReg(i)), src)
+		e.Args[i].Merge(src)
+	}
+	if in.Dst != ir.NoReg {
+		a.merge(mc.Reg(in.Dst), &cmc.Ret)
+	}
+}
+
+// bindReceiverCall handles method calls: dynamic dispatches (fixed == nil,
+// targets resolved per receiver contour) and devirtualized/constructor
+// calls (fixed != nil). Receiver-based contour selection restricts the
+// callee's self state to the enumerated (object contour, tag) pair, which
+// is what makes the selection monotone within a pass.
+func (a *analyzer) bindReceiverCall(mc *MethodContour, fn *ir.Func, in *ir.Instr, fixed *ir.Func) {
+	recv := mc.Reg(in.Args[0])
+	for _, oc := range recv.TS.ObjList() {
+		target := fixed
+		if target == nil {
+			target = oc.Class.LookupMethod(in.Method)
+			if target == nil {
+				continue // runtime error path
+			}
+			mc.addTarget(in.ID, target)
+		}
+		if target.NumParams != len(in.Args)-1 {
+			continue // runtime arity error path
+		}
+		pol := a.policy(target)
+		baseKey := ""
+		if pol.splitBySite {
+			baseKey = a.siteKey(mc, in)
+		}
+		if pol.splitByRecvOC {
+			baseKey += fmt.Sprintf("|o%d", oc.ID)
+		}
+		if pol.splitByRecvTag && a.opts.Tags && recv.Tags.Len() > 0 {
+			for _, t := range recv.Tags.List() {
+				key := baseKey + fmt.Sprintf("|t%d", t.ID)
+				self := VarState{}
+				self.TS.AddObj(oc)
+				self.Tags.Add(t)
+				a.bindMethod(mc, in, target, key, &self)
+			}
+			continue
+		}
+		self := VarState{}
+		self.TS.AddObj(oc)
+		for _, t := range recv.Tags.List() {
+			self.Tags.Add(t)
+		}
+		a.bindMethod(mc, in, target, baseKey, &self)
+	}
+}
+
+func (a *analyzer) bindMethod(mc *MethodContour, in *ir.Instr, target *ir.Func, key string, self *VarState) {
+	cmc := a.getMC(target, key)
+	if mc.addCallee(in.ID, cmc) {
+		a.changed = true
+	}
+	e := a.edge(mc, in, cmc)
+	a.merge(cmc.Reg(0), self)
+	e.Args[0].Merge(self)
+	for i := 1; i < len(in.Args); i++ {
+		src := mc.Reg(in.Args[i])
+		a.merge(cmc.Reg(target.ParamReg(i-1)), src)
+		e.Args[i].Merge(src)
+	}
+	if in.Dst != ir.NoReg {
+		a.merge(mc.Reg(in.Dst), &cmc.Ret)
+	}
+}
+
+func (a *analyzer) edge(from *MethodContour, in *ir.Instr, to *MethodContour) *Edge {
+	k := edgeKey{from: from, instr: in.ID, to: to}
+	if e, ok := a.edges[k]; ok {
+		return e
+	}
+	n := len(in.Args)
+	e := &Edge{From: from, Instr: in, To: to, Args: make([]VarState, n)}
+	a.edges[k] = e
+	to.InEdges = append(to.InEdges, e)
+	return e
+}
+
+func (a *analyzer) result(passes int) *Result {
+	res := &Result{
+		Prog:       a.prog,
+		Opts:       a.opts,
+		Contours:   make(map[*ir.Func][]*MethodContour),
+		Mcs:        a.mcList,
+		Objs:       a.ocList,
+		Arrs:       a.acList,
+		Globals:    a.globals,
+		Passes:     passes,
+		Overflowed: a.overflow,
+	}
+	for _, mc := range a.mcList {
+		res.Contours[mc.Fn] = append(res.Contours[mc.Fn], mc)
+	}
+	return res
+}

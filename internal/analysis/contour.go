@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+
+	"objinline/internal/ir"
+)
+
+// MethodContour represents one analyzed execution context of a function —
+// the paper's unit of context sensitivity (§3.2.1). The Key encodes which
+// discriminators the contour-selection policy applied (caller site,
+// receiver object contour, receiver tag).
+type MethodContour struct {
+	ID  int
+	Fn  *ir.Func
+	Key string
+
+	// Regs is the abstract state of every virtual register, flow-
+	// insensitively within the contour.
+	Regs []VarState
+	// Ret is the merged return value state.
+	Ret VarState
+
+	// Callees maps a call instruction ID to the callee contours bound at
+	// that site in this contour.
+	Callees map[int]map[*MethodContour]struct{}
+	// Targets maps a dynamic-dispatch instruction ID to the resolved
+	// target functions (used by cloning to decide static binding).
+	Targets map[int]map[*ir.Func]struct{}
+
+	// InEdges are the interprocedural edges that feed this contour.
+	InEdges []*Edge
+
+	// NewObjs and NewArrs map allocation instruction IDs to the contour
+	// created at that site under this method contour (the transformation
+	// needs them to pick class versions for rewritten allocations).
+	NewObjs map[int]*ObjContour
+	NewArrs map[int]*ArrContour
+}
+
+func (mc *MethodContour) String() string {
+	return fmt.Sprintf("%s[%d]%s", mc.Fn.FullName(), mc.ID, mc.Key)
+}
+
+// Reg returns the state cell for register r.
+func (mc *MethodContour) Reg(r ir.Reg) *VarState { return &mc.Regs[r] }
+
+// addCallee records a call binding, reporting whether it is new.
+func (mc *MethodContour) addCallee(instrID int, callee *MethodContour) bool {
+	if mc.Callees == nil {
+		mc.Callees = make(map[int]map[*MethodContour]struct{})
+	}
+	set := mc.Callees[instrID]
+	if set == nil {
+		set = make(map[*MethodContour]struct{})
+		mc.Callees[instrID] = set
+	}
+	if _, ok := set[callee]; ok {
+		return false
+	}
+	set[callee] = struct{}{}
+	return true
+}
+
+// addTarget records a resolved dispatch target.
+func (mc *MethodContour) addTarget(instrID int, fn *ir.Func) {
+	if mc.Targets == nil {
+		mc.Targets = make(map[int]map[*ir.Func]struct{})
+	}
+	set := mc.Targets[instrID]
+	if set == nil {
+		set = make(map[*ir.Func]struct{})
+		mc.Targets[instrID] = set
+	}
+	set[fn] = struct{}{}
+}
+
+// Edge is one interprocedural call edge between contours. The analysis
+// accumulates the argument states it transmitted; the splitting criteria
+// compare these across edges to decide where more context is needed.
+type Edge struct {
+	From  *MethodContour
+	Instr *ir.Instr
+	To    *MethodContour
+	// Args accumulates, per callee register (self included for methods),
+	// the state this edge has transmitted.
+	Args []VarState
+}
+
+// ObjContour represents the objects allocated by one new statement under a
+// given creating context (§3.2.1's object contours).
+type ObjContour struct {
+	ID     int
+	Class  *ir.Class
+	Site   *ir.Instr
+	SiteFn *ir.Func
+	Key    string
+
+	// Fields holds the abstract state of each slot of Class.
+	Fields []VarState
+}
+
+func (oc *ObjContour) String() string {
+	return fmt.Sprintf("%s#%d@%s/%d%s", oc.Class.Name, oc.ID, oc.SiteFn.FullName(), oc.Site.ID, oc.Key)
+}
+
+// FieldState returns the state cell for the named field, or nil if the
+// class has no such field.
+func (oc *ObjContour) FieldState(name string) *VarState {
+	for _, f := range oc.Class.Fields {
+		if f.Name == name {
+			return &oc.Fields[f.Slot]
+		}
+	}
+	return nil
+}
+
+// ArrContour represents the arrays allocated by one "new [n]" statement
+// under a given creating context. All elements share one summary cell, as
+// in the paper ("our analysis does not distinguish different array
+// elements", §6.1).
+type ArrContour struct {
+	ID     int
+	Site   *ir.Instr
+	SiteFn *ir.Func
+	Key    string
+
+	// Elem summarizes every element's state.
+	Elem VarState
+}
+
+func (ac *ArrContour) String() string {
+	return fmt.Sprintf("arr#%d@%s/%d%s", ac.ID, ac.SiteFn.FullName(), ac.Site.ID, ac.Key)
+}
+
+// fnPolicy records which discriminators the contour-selection function
+// applies for one function. Bits only turn on, which guarantees the
+// iterative refinement terminates.
+type fnPolicy struct {
+	splitBySite    bool // one contour per (caller contour, call site)
+	splitByRecvOC  bool // one contour per receiver object contour
+	splitByRecvTag bool // one contour per receiver tag (tags mode)
+}

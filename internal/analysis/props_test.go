@@ -1,0 +1,286 @@
+package analysis
+
+// White-box property tests for the analysis lattices: the type-set union
+// must behave as a join (commutative, associative, idempotent, monotone),
+// and the tag algebra must respect the paper's Head law and the depth cap.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"objinline/internal/ir"
+)
+
+// genOCs builds a pool of object contours to draw from.
+func genPool() ([]*ObjContour, []*ArrContour) {
+	cls := &ir.Class{Name: "T", Methods: map[string]*ir.Func{}}
+	cls.Fields = []*ir.Field{{Name: "f", Slot: 0, Owner: cls}}
+	fn := &ir.Func{Name: "site"}
+	ocs := make([]*ObjContour, 6)
+	for i := range ocs {
+		ocs[i] = &ObjContour{ID: i, Class: cls, Site: &ir.Instr{ID: i}, SiteFn: fn, Fields: make([]VarState, 1)}
+	}
+	acs := make([]*ArrContour, 4)
+	for i := range acs {
+		acs[i] = &ArrContour{ID: i, Site: &ir.Instr{ID: 100 + i}, SiteFn: fn}
+	}
+	return ocs, acs
+}
+
+var poolOCs, poolACs = genPool()
+
+// randTS draws a random type set.
+func randTS(r *rand.Rand) TypeSet {
+	var ts TypeSet
+	ts.AddPrim(PrimMask(r.Intn(32)))
+	for _, oc := range poolOCs {
+		if r.Intn(3) == 0 {
+			ts.AddObj(oc)
+		}
+	}
+	for _, ac := range poolACs {
+		if r.Intn(4) == 0 {
+			ts.AddArr(ac)
+		}
+	}
+	return ts
+}
+
+func cloneTS(ts *TypeSet) TypeSet {
+	var out TypeSet
+	out.Union(ts)
+	return out
+}
+
+func equalTS(a, b *TypeSet) bool {
+	if a.Prims != b.Prims || len(a.Objs) != len(b.Objs) || len(a.Arrs) != len(b.Arrs) {
+		return false
+	}
+	for oc := range a.Objs {
+		if _, ok := b.Objs[oc]; !ok {
+			return false
+		}
+	}
+	for ac := range a.Arrs {
+		if _, ok := b.Arrs[ac]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type tsValue struct{ TS TypeSet }
+
+// Generate implements quick.Generator.
+func (tsValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(tsValue{randTS(r)})
+}
+
+func TestTypeSetUnionCommutative(t *testing.T) {
+	f := func(a, b tsValue) bool {
+		x := cloneTS(&a.TS)
+		x.Union(&b.TS)
+		y := cloneTS(&b.TS)
+		y.Union(&a.TS)
+		return equalTS(&x, &y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeSetUnionAssociative(t *testing.T) {
+	f := func(a, b, c tsValue) bool {
+		x := cloneTS(&a.TS)
+		x.Union(&b.TS)
+		x.Union(&c.TS)
+		bc := cloneTS(&b.TS)
+		bc.Union(&c.TS)
+		y := cloneTS(&a.TS)
+		y.Union(&bc)
+		return equalTS(&x, &y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeSetUnionIdempotentAndReportsChange(t *testing.T) {
+	f := func(a, b tsValue) bool {
+		x := cloneTS(&a.TS)
+		x.Union(&b.TS)
+		// Second union of the same operand must be a no-op and report no
+		// change.
+		if x.Union(&b.TS) {
+			return false
+		}
+		if x.Union(&a.TS) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeSetUnionMonotone(t *testing.T) {
+	contains := func(big, small *TypeSet) bool {
+		if small.Prims&^big.Prims != 0 {
+			return false
+		}
+		for oc := range small.Objs {
+			if _, ok := big.Objs[oc]; !ok {
+				return false
+			}
+		}
+		for ac := range small.Arrs {
+			if _, ok := big.Arrs[ac]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(a, b tsValue) bool {
+		x := cloneTS(&a.TS)
+		x.Union(&b.TS)
+		return contains(&x, &a.TS) && contains(&x, &b.TS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjListSortedAndComplete(t *testing.T) {
+	f := func(a tsValue) bool {
+		l := a.TS.ObjList()
+		if len(l) != len(a.TS.Objs) {
+			return false
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i-1].ID >= l[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- tag algebra ---
+
+func TestTagHeadLaw(t *testing.T) {
+	tt := newTagTable(3)
+	oc := poolOCs[0]
+	// Head(MakeTag(f, t)) == f for every base.
+	bases := []*Tag{tt.noField, tt.makeObj(poolOCs[1], "f", tt.noField)}
+	for _, b := range bases {
+		tag := tt.makeObj(oc, "f", b)
+		h := tag.Head()
+		if h.Class != oc.Class || h.Name != "f" {
+			t.Errorf("Head(MakeTag(f,%v)) = %v", b, h)
+		}
+	}
+	at := tt.makeArr(poolACs[0], tt.noField)
+	if h := at.Head(); !h.Array {
+		t.Errorf("array tag head = %v", h)
+	}
+}
+
+func TestTagInterning(t *testing.T) {
+	tt := newTagTable(3)
+	a := tt.makeObj(poolOCs[0], "f", tt.noField)
+	b := tt.makeObj(poolOCs[0], "f", tt.noField)
+	if a != b {
+		t.Error("equal tags not interned")
+	}
+	c := tt.makeObj(poolOCs[1], "f", tt.noField)
+	if a == c {
+		t.Error("distinct contours share a tag")
+	}
+}
+
+func TestTagDepthCapKeepsHead(t *testing.T) {
+	tt := newTagTable(3)
+	tag := tt.makeObj(poolOCs[0], "f", tt.noField)
+	for i := 0; i < 10; i++ {
+		oc := poolOCs[i%len(poolOCs)]
+		tag = tt.makeObj(oc, "f", tag)
+		if tag.IsTop() {
+			t.Fatalf("head collapsed to Top at depth %d", i)
+		}
+		if tag.Depth > 3 {
+			t.Fatalf("depth %d exceeds cap", tag.Depth)
+		}
+	}
+	// Saturated tags intern stably too.
+	a := tt.makeObj(poolOCs[0], "f", tag)
+	b := tt.makeObj(poolOCs[0], "f", tag)
+	if a != b {
+		t.Error("saturated tags not interned")
+	}
+}
+
+func TestTagSetSaturatesToTop(t *testing.T) {
+	tt := newTagTable(4)
+	var s TagSet
+	added := 0
+	for i := 0; !s.HasTop(); i++ {
+		if i > 100 {
+			t.Fatal("tag set never saturated")
+		}
+		oc := poolOCs[i%len(poolOCs)]
+		tag := tt.make(tagKey{oc: oc, field: "f" + string(rune('a'+i%26)), base: tt.noField})
+		s.Add(tag)
+		added++
+	}
+	// Saturation keeps the established members and summarizes the rest
+	// as Top.
+	if s.Len() != maxTagSet+1 {
+		t.Errorf("saturated set has %d members, want %d", s.Len(), maxTagSet+1)
+	}
+	// Further additions are absorbed by Top without growth.
+	extra := tt.make(tagKey{oc: poolOCs[0], field: "zzz", base: tt.noField})
+	if s.Add(extra) {
+		t.Error("post-saturation add reported change")
+	}
+	if s.Len() != maxTagSet+1 {
+		t.Errorf("set grew past saturation: %d", s.Len())
+	}
+	// Heads of established members remain known.
+	heads, _, top := s.Heads()
+	if !top || len(heads) == 0 {
+		t.Errorf("saturation lost heads: %d heads, top=%v", len(heads), top)
+	}
+}
+
+func TestTagSetUnionIdempotent(t *testing.T) {
+	tt := newTagTable(3)
+	var a, b TagSet
+	a.Add(tt.noField)
+	b.Add(tt.makeObj(poolOCs[0], "f", tt.noField))
+	b.Add(tt.noField)
+	a.Union(&b)
+	if a.Union(&b) {
+		t.Error("second union reported change")
+	}
+	if a.Len() != 2 {
+		t.Errorf("len = %d", a.Len())
+	}
+}
+
+func TestHeadsClassification(t *testing.T) {
+	tt := newTagTable(3)
+	var s TagSet
+	s.Add(tt.noField)
+	s.Add(tt.makeObj(poolOCs[0], "f", tt.noField))
+	s.Add(sharedTop)
+	heads, noField, top := s.Heads()
+	if len(heads) != 1 || !noField || !top {
+		t.Errorf("heads=%v noField=%v top=%v", heads, noField, top)
+	}
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"objinline/internal/ir"
+)
+
+// Tag marks where a value came from, per the paper's use-specialization
+// analysis (§4.1):
+//
+//	NoField            — the value did not flow from a field access;
+//	MakeTag(f, base)   — the value was loaded from field f of an object
+//	                     whose own origin is base.
+//
+// The field component identifies the field *instance*: the object or array
+// contour that holds it plus the field name (the paper's "special values
+// that denote the contents of the field"). Tags are interned; pointer
+// equality is tag equality. Tag depth is capped: deeper tags collapse to
+// Top ("confused"), which conservatively blocks inlining.
+type Tag struct {
+	ID    int
+	OC    *ObjContour // field of an object contour (nil for array/base tags)
+	AC    *ArrContour // element of an array contour
+	Field string      // field name; "[]" for array elements
+	Base  *Tag        // origin of the holder; nil for NoField/Top
+	Depth int
+}
+
+// Sentinel tag IDs.
+const (
+	tagNoFieldID = 0
+	tagTopID     = 1
+)
+
+// IsNoField reports whether t is the NoField sentinel.
+func (t *Tag) IsNoField() bool { return t.ID == tagNoFieldID }
+
+// IsTop reports whether t is the confusion sentinel.
+func (t *Tag) IsTop() bool { return t.ID == tagTopID }
+
+// Head returns the last field in the tag, i.e. Head(MakeTag(f, b)) = f,
+// rendered as a FieldKey. Sentinels return the zero FieldKey.
+func (t *Tag) Head() FieldKey {
+	if t.IsNoField() || t.IsTop() {
+		return FieldKey{}
+	}
+	if t.AC != nil {
+		return FieldKey{Array: true, ASiteUID: siteUID(t.AC.SiteFn, t.AC.Site)}
+	}
+	return FieldKey{Class: declaringClass(t.OC.Class, t.Field), Name: t.Field}
+}
+
+// HeadOC returns the object contour holding the head field (nil for array
+// or sentinel tags).
+func (t *Tag) HeadOC() *ObjContour { return t.OC }
+
+// HeadAC returns the array contour for array-element tags.
+func (t *Tag) HeadAC() *ArrContour { return t.AC }
+
+// String renders the tag as a field path.
+func (t *Tag) String() string {
+	switch {
+	case t == nil:
+		return "<nil>"
+	case t.IsNoField():
+		return "NoField"
+	case t.IsTop():
+		return "Top"
+	}
+	var parts []string
+	for x := t; x != nil && !x.IsNoField(); x = x.Base {
+		if x.IsTop() {
+			parts = append(parts, "Top")
+			break
+		}
+		if x.AC != nil {
+			parts = append(parts, fmt.Sprintf("arr#%d[]", x.AC.ID))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s#%d.%s", x.OC.Class.Name, x.OC.ID, x.Field))
+		}
+	}
+	// Path is built innermost-first; reverse for readability.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "<-")
+}
+
+// FieldKey identifies a source-level field independent of contours: the
+// declaring class plus the field name, or one array allocation site's
+// elements. It is the unit at which inlinability is decided.
+type FieldKey struct {
+	Class    *ir.Class // declaring class; nil for array elements
+	Name     string
+	Array    bool
+	ASiteUID int // array allocation site UID (Array only)
+}
+
+// IsZero reports whether k identifies nothing (sentinel tags).
+func (k FieldKey) IsZero() bool { return k.Class == nil && !k.Array }
+
+// String renders the key.
+func (k FieldKey) String() string {
+	if k.Array {
+		return fmt.Sprintf("arr@%d[]", k.ASiteUID)
+	}
+	if k.Class == nil {
+		return "<none>"
+	}
+	return k.Class.Name + "." + k.Name
+}
+
+// declaringClass walks up from c to the class that declares field name.
+func declaringClass(c *ir.Class, name string) *ir.Class {
+	var owner *ir.Class
+	for _, f := range c.Fields {
+		if f.Name == name {
+			owner = f.Owner
+		}
+	}
+	if owner == nil {
+		return c
+	}
+	return owner
+}
+
+// tagTable interns tags for one analysis pass.
+type tagTable struct {
+	noField *Tag
+	top     *Tag
+	byKey   map[tagKey]*Tag
+	next    int
+	maxDep  int
+}
+
+type tagKey struct {
+	oc    *ObjContour
+	ac    *ArrContour
+	field string
+	base  *Tag
+}
+
+func newTagTable(maxDepth int) *tagTable {
+	tt := &tagTable{
+		noField: &Tag{ID: tagNoFieldID},
+		top:     &Tag{ID: tagTopID},
+		byKey:   make(map[tagKey]*Tag),
+		next:    2,
+		maxDep:  maxDepth,
+	}
+	return tt
+}
+
+// makeObj builds MakeTag((oc, field), base), collapsing to Top past the
+// depth cap.
+func (tt *tagTable) makeObj(oc *ObjContour, field string, base *Tag) *Tag {
+	return tt.make(tagKey{oc: oc, field: field, base: base})
+}
+
+// makeArr builds the tag for an element of array contour ac.
+func (tt *tagTable) makeArr(ac *ArrContour, base *Tag) *Tag {
+	return tt.make(tagKey{ac: ac, field: "[]", base: base})
+}
+
+func (tt *tagTable) make(k tagKey) *Tag {
+	depth := 1
+	if k.base != nil && !k.base.IsNoField() {
+		if k.base.IsTop() {
+			depth = tt.maxDep // saturated, but the head stays known
+		} else {
+			depth = k.base.Depth + 1
+		}
+	}
+	if depth > tt.maxDep {
+		// Collapse only the *base* past the depth cap: the head field must
+		// stay known or every deep access would conservatively block all
+		// inlining. A Top base means "container identity unknown", which
+		// rejects only candidates that need that identity.
+		k.base = tt.top
+		depth = tt.maxDep
+	}
+	if t, ok := tt.byKey[k]; ok {
+		return t
+	}
+	t := &Tag{ID: tt.next, OC: k.oc, AC: k.ac, Field: k.field, Base: k.base, Depth: depth}
+	tt.next++
+	tt.byKey[k] = t
+	return t
+}
+
+// TagSet is a set of tags, capped in size: overflowing sets collapse to
+// {Top} (confused), mirroring the paper's conservative treatment of
+// convergent data-flow paths it cannot split.
+type TagSet struct {
+	m map[*Tag]struct{}
+}
+
+// maxTagSet bounds tag sets before collapsing to Top.
+const maxTagSet = 12
+
+// Add inserts a tag, reporting change. Past the size cap, new tags are
+// summarized by the Top sentinel while established members keep their
+// identity (their heads remain known to the decision).
+func (s *TagSet) Add(t *Tag) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := s.m[t]; ok {
+		return false
+	}
+	if s.m == nil {
+		s.m = make(map[*Tag]struct{})
+	}
+	if len(s.m) >= maxTagSet && !t.IsTop() {
+		return s.Add(topOf(t))
+	}
+	s.m[t] = struct{}{}
+	return true
+}
+
+// topOf returns the Top sentinel reachable from any tag's table; since
+// sentinels are per-table we reconstruct via a shared instance.
+var sharedTop = &Tag{ID: tagTopID}
+
+func topOf(t *Tag) *Tag {
+	if t.IsTop() {
+		return t
+	}
+	return sharedTop
+}
+
+// Union adds all of o, reporting change. Iteration is in sorted tag order
+// so that which members establish themselves before the saturation cap is
+// deterministic.
+func (s *TagSet) Union(o *TagSet) bool {
+	changed := false
+	for _, t := range o.List() {
+		if s.Add(t) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Len returns the number of tags.
+func (s *TagSet) Len() int { return len(s.m) }
+
+// Has reports membership.
+func (s *TagSet) Has(t *Tag) bool {
+	_, ok := s.m[t]
+	return ok
+}
+
+// HasTop reports whether the set contains the confusion sentinel.
+func (s *TagSet) HasTop() bool {
+	for t := range s.m {
+		if t.IsTop() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNoField reports whether the set contains the NoField sentinel.
+func (s *TagSet) HasNoField() bool {
+	for t := range s.m {
+		if t.IsNoField() {
+			return true
+		}
+	}
+	return false
+}
+
+// List returns tags sorted by ID.
+func (s *TagSet) List() []*Tag {
+	out := make([]*Tag, 0, len(s.m))
+	for t := range s.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Heads returns the distinct head field keys of the set's real tags,
+// plus flags for NoField and Top members.
+func (s *TagSet) Heads() (heads []FieldKey, noField, top bool) {
+	seen := make(map[FieldKey]bool)
+	for t := range s.m {
+		switch {
+		case t.IsNoField():
+			noField = true
+		case t.IsTop():
+			top = true
+		default:
+			k := t.Head()
+			if !seen[k] {
+				seen[k] = true
+				heads = append(heads, k)
+			}
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i].String() < heads[j].String() })
+	return heads, noField, top
+}
+
+// String renders the set.
+func (s *TagSet) String() string {
+	parts := make([]string, 0, len(s.m))
+	for _, t := range s.List() {
+		parts = append(parts, t.String())
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

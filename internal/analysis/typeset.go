@@ -1,0 +1,167 @@
+// Package analysis implements the Concert-style context-sensitive flow
+// analysis the paper builds on (§3.2.1): concrete type inference over
+// *method contours* (execution contexts of a method) and *object contours*
+// (allocation statements under a creating context), with demand-driven
+// contour splitting. With tags enabled it additionally performs the
+// paper's use-specialization analysis (§4.1): every value carries the set
+// of field paths it may have been loaded from.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrimMask is a bitset of primitive type kinds.
+type PrimMask uint8
+
+// Primitive type bits.
+const (
+	PInt PrimMask = 1 << iota
+	PFloat
+	PBool
+	PStr
+	PNil
+)
+
+var primNames = []struct {
+	bit  PrimMask
+	name string
+}{
+	{PInt, "int"}, {PFloat, "float"}, {PBool, "bool"}, {PStr, "str"}, {PNil, "nil"},
+}
+
+// TypeSet is a set of concrete types: primitive kinds plus object and
+// array contours. The zero value is the empty set.
+type TypeSet struct {
+	Prims PrimMask
+	Objs  map[*ObjContour]struct{}
+	Arrs  map[*ArrContour]struct{}
+}
+
+// AddPrim adds primitive bits, reporting whether the set changed.
+func (t *TypeSet) AddPrim(m PrimMask) bool {
+	if t.Prims&m == m {
+		return false
+	}
+	t.Prims |= m
+	return true
+}
+
+// AddObj adds an object contour, reporting whether the set changed.
+func (t *TypeSet) AddObj(oc *ObjContour) bool {
+	if _, ok := t.Objs[oc]; ok {
+		return false
+	}
+	if t.Objs == nil {
+		t.Objs = make(map[*ObjContour]struct{})
+	}
+	t.Objs[oc] = struct{}{}
+	return true
+}
+
+// AddArr adds an array contour, reporting whether the set changed.
+func (t *TypeSet) AddArr(ac *ArrContour) bool {
+	if _, ok := t.Arrs[ac]; ok {
+		return false
+	}
+	if t.Arrs == nil {
+		t.Arrs = make(map[*ArrContour]struct{})
+	}
+	t.Arrs[ac] = struct{}{}
+	return true
+}
+
+// Union adds all of o into t, reporting whether t changed.
+func (t *TypeSet) Union(o *TypeSet) bool {
+	changed := t.AddPrim(o.Prims)
+	for oc := range o.Objs {
+		if t.AddObj(oc) {
+			changed = true
+		}
+	}
+	for ac := range o.Arrs {
+		if t.AddArr(ac) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IsEmpty reports whether the set has no members.
+func (t *TypeSet) IsEmpty() bool {
+	return t.Prims == 0 && len(t.Objs) == 0 && len(t.Arrs) == 0
+}
+
+// HasObjects reports whether any object contour is in the set.
+func (t *TypeSet) HasObjects() bool { return len(t.Objs) > 0 }
+
+// ObjList returns the object contours sorted by ID (deterministic order).
+func (t *TypeSet) ObjList() []*ObjContour {
+	out := make([]*ObjContour, 0, len(t.Objs))
+	for oc := range t.Objs {
+		out = append(out, oc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ArrList returns the array contours sorted by ID.
+func (t *TypeSet) ArrList() []*ArrContour {
+	out := make([]*ArrContour, 0, len(t.Arrs))
+	for ac := range t.Arrs {
+		out = append(out, ac)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Classes returns the distinct object classes in the set, sorted by name.
+func (t *TypeSet) Classes() []string {
+	seen := make(map[string]bool)
+	for oc := range t.Objs {
+		seen[oc.Class.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set for debugging.
+func (t *TypeSet) String() string {
+	var parts []string
+	for _, p := range primNames {
+		if t.Prims&p.bit != 0 {
+			parts = append(parts, p.name)
+		}
+	}
+	for _, oc := range t.ObjList() {
+		parts = append(parts, fmt.Sprintf("%s#%d", oc.Class.Name, oc.ID))
+	}
+	for _, ac := range t.ArrList() {
+		parts = append(parts, fmt.Sprintf("arr#%d", ac.ID))
+	}
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// VarState is the abstract state of one value: its concrete types and the
+// field tags it may carry (tags empty means "not yet reached"; the
+// canonical NoField tag is explicit, as in the paper).
+type VarState struct {
+	TS   TypeSet
+	Tags TagSet
+}
+
+// Merge unions o into s, reporting change.
+func (s *VarState) Merge(o *VarState) bool {
+	c1 := s.TS.Union(&o.TS)
+	c2 := s.Tags.Union(&o.Tags)
+	return c1 || c2
+}

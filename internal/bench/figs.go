@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"objinline/internal/core"
+	"objinline/internal/pipeline"
+)
+
+// Fig14Row is one benchmark's inlinable-field counts (paper Figure 14).
+type Fig14Row struct {
+	Program   string
+	Total     int // fields (and array sites) that hold objects
+	Ideal     int // hand-determined upper bound under aliasing constraints
+	Declared  int // what C++ lets a programmer declare inline
+	Automatic int // what the optimizer inlined
+	Rejected  map[string]string
+}
+
+// Fig14 computes the inlinable-field counts for every benchmark.
+func Fig14(scale Scale) ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, p := range Programs {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return nil, err
+		}
+		c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		d := c.Optimize.Decision
+		rej := make(map[string]string)
+		for k, why := range d.Rejected {
+			rej[k.String()] = why
+		}
+		rows = append(rows, Fig14Row{
+			Program:   p.Name,
+			Total:     len(d.ObjectFields),
+			Ideal:     p.IdealFields,
+			Declared:  p.DeclaredCxx,
+			Automatic: len(d.Inlined),
+			Rejected:  rej,
+		})
+	}
+	return rows, nil
+}
+
+// Fig15Row is one benchmark's generated-code sizes (paper Figure 15, in IR
+// instructions rather than stripped object bytes — see DESIGN.md §2).
+type Fig15Row struct {
+	Program        string
+	Direct         int // lowered program, no cloning
+	Baseline       int // after type-directed cloning
+	Inline         int // after cloning + object inlining
+	BaselineClones int
+	InlineClones   int
+}
+
+// Fig15 measures post-optimization code size.
+func Fig15(scale Scale) ([]Fig15Row, error) {
+	var rows []Fig15Row
+	for _, p := range Programs {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return nil, err
+		}
+		direct, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeDirect})
+		if err != nil {
+			return nil, err
+		}
+		base, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeBaseline})
+		if err != nil {
+			return nil, err
+		}
+		inl, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig15Row{
+			Program:        p.Name,
+			Direct:         direct.CodeSize(),
+			Baseline:       base.CodeSize(),
+			Inline:         inl.CodeSize(),
+			BaselineClones: base.Optimize.CloneStats.ClonesAdded,
+			InlineClones:   inl.Optimize.CloneStats.ClonesAdded,
+		})
+	}
+	return rows, nil
+}
+
+// Fig16Row is one benchmark's analysis-sensitivity cost (paper Figure 16:
+// method contours required per method).
+type Fig16Row struct {
+	Program          string
+	BaselineContours float64
+	InlineContours   float64
+	BaselinePasses   int
+	InlinePasses     int
+}
+
+// Fig16 measures contours/method with and without the inlining analyses.
+func Fig16(scale Scale) ([]Fig16Row, error) {
+	var rows []Fig16Row
+	for _, p := range Programs {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return nil, err
+		}
+		base, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeBaseline})
+		if err != nil {
+			return nil, err
+		}
+		inl, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			return nil, err
+		}
+		b, i := base.Analysis.Stats(), inl.Analysis.Stats()
+		rows = append(rows, Fig16Row{
+			Program:          p.Name,
+			BaselineContours: b.ContoursPerMethod,
+			InlineContours:   i.ContoursPerMethod,
+			BaselinePasses:   b.Passes,
+			InlinePasses:     i.Passes,
+		})
+	}
+	return rows, nil
+}
+
+// Fig17Row is one benchmark's performance (paper Figure 17): modeled
+// cycles normalized to the baseline (Concert without inlining), lower is
+// better; the G++ analog runs the hand-inlined source on the baseline
+// pipeline.
+type Fig17Row struct {
+	Program        string
+	BaselineCycles int64
+	InlineCycles   int64
+	ManualCycles   int64 // 0 when no manual variant exists
+	// Normalized (baseline = 1.0).
+	InlineNorm float64
+	ManualNorm float64
+	Speedup    float64 // baseline / inline
+	// Supporting dynamic counts.
+	BaselineAllocs, InlineAllocs uint64
+	BaselineDerefs, InlineDerefs uint64
+	BaselineMisses, InlineMisses uint64
+}
+
+// Fig17 measures performance for every benchmark at the given scale.
+func Fig17(scale Scale) ([]Fig17Row, error) {
+	var rows []Fig17Row
+	for _, p := range Programs {
+		base, err := RunConfig(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeBaseline})
+		if err != nil {
+			return nil, err
+		}
+		inl, err := RunConfig(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig17Row{
+			Program:        p.Name,
+			BaselineCycles: base.Counters.Cycles,
+			InlineCycles:   inl.Counters.Cycles,
+			BaselineAllocs: base.Counters.ObjectsAllocated + base.Counters.ArraysAllocated,
+			InlineAllocs:   inl.Counters.ObjectsAllocated + inl.Counters.ArraysAllocated,
+			BaselineDerefs: base.Counters.Dereferences,
+			InlineDerefs:   inl.Counters.Dereferences,
+			BaselineMisses: base.Counters.CacheMisses,
+			InlineMisses:   inl.Counters.CacheMisses,
+		}
+		if p.ManualFile != "" {
+			man, err := RunConfig(p, VariantManual, scale, pipeline.Config{Mode: pipeline.ModeBaseline})
+			if err != nil {
+				return nil, err
+			}
+			row.ManualCycles = man.Counters.Cycles
+			row.ManualNorm = float64(man.Counters.Cycles) / float64(row.BaselineCycles)
+		}
+		row.InlineNorm = float64(row.InlineCycles) / float64(row.BaselineCycles)
+		row.Speedup = float64(row.BaselineCycles) / float64(row.InlineCycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationLayoutRow compares inlined-array layouts on OOPACK (ablation A1,
+// the paper's §6.3 parallel-array observation).
+type AblationLayoutRow struct {
+	Layout      string
+	Cycles      int64
+	CacheMisses uint64
+}
+
+// AblationLayout runs OOPACK under both array layouts.
+func AblationLayout(scale Scale) ([]AblationLayoutRow, error) {
+	p, err := ByName("oopack")
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationLayoutRow
+	for _, layout := range []core.Layout{core.LayoutObjectOrder, core.LayoutParallel} {
+		m, err := RunConfig(p, VariantAuto, scale, pipeline.Config{
+			Mode:        pipeline.ModeInline,
+			ArrayLayout: layout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationLayoutRow{
+			Layout:      layout.String(),
+			Cycles:      m.Counters.Cycles,
+			CacheMisses: m.Counters.CacheMisses,
+		})
+	}
+	return rows, nil
+}
+
+// AblationTagDepthRow reports inlining decisions at different tag-depth
+// caps (ablation A3).
+type AblationTagDepthRow struct {
+	Program string
+	Depth   int
+	Inlined int
+}
+
+// AblationTagDepth sweeps the tag-depth cap.
+func AblationTagDepth(scale Scale) ([]AblationTagDepthRow, error) {
+	var rows []AblationTagDepthRow
+	for _, p := range Programs {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return nil, err
+		}
+		for depth := 1; depth <= 4; depth++ {
+			c, err := pipeline.Compile(p.Name, src, pipeline.Config{
+				Mode:     pipeline.ModeInline,
+				Analysis: analysisOptionsWithDepth(depth),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s depth %d: %w", p.Name, depth, err)
+			}
+			rows = append(rows, AblationTagDepthRow{
+				Program: p.Name,
+				Depth:   depth,
+				Inlined: len(c.Optimize.Decision.Inlined),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig14 renders the Figure 14 table.
+func PrintFig14(w io.Writer, rows []Fig14Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 14: Inlinable Field Counts")
+	fmt.Fprintln(tw, "benchmark\ttotal object fields\tideally inlinable\tdeclared inline in C++\tautomatically inlined")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", r.Program, r.Total, r.Ideal, r.Declared, r.Automatic)
+	}
+	tw.Flush()
+}
+
+// PrintFig15 renders the Figure 15 table.
+func PrintFig15(w io.Writer, rows []Fig15Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 15: Generated Code Size (IR instructions)")
+	fmt.Fprintln(tw, "benchmark\tdirect\twithout inlining\twith inlining\tclones (base)\tclones (inline)\tinline/base")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+			r.Program, r.Direct, r.Baseline, r.Inline, r.BaselineClones, r.InlineClones,
+			float64(r.Inline)/float64(r.Baseline))
+	}
+	tw.Flush()
+}
+
+// PrintFig16 renders the Figure 16 table.
+func PrintFig16(w io.Writer, rows []Fig16Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 16: Method Contours Required (contours per method)")
+	fmt.Fprintln(tw, "benchmark\twithout inlining\twith inlining\tpasses (base)\tpasses (inline)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%d\n",
+			r.Program, r.BaselineContours, r.InlineContours, r.BaselinePasses, r.InlinePasses)
+	}
+	tw.Flush()
+}
+
+// PrintFig17 renders the Figure 17 table.
+func PrintFig17(w io.Writer, rows []Fig17Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Figure 17: Object Inlining Performance (modeled cycles, normalized to Concert without inlining)")
+	fmt.Fprintln(tw, "benchmark\twithout inlining\twith inlining\tmanual (G++ analog)\tspeedup")
+	for _, r := range rows {
+		manual := "-"
+		if r.ManualCycles > 0 {
+			manual = fmt.Sprintf("%.2f", r.ManualNorm)
+		}
+		fmt.Fprintf(tw, "%s\t1.00\t%.2f\t%s\t%.2fx\n", r.Program, r.InlineNorm, manual, r.Speedup)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "\nsupporting dynamic counts:")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tallocs base\tallocs inline\tderefs base\tderefs inline\tmisses base\tmisses inline")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Program, r.BaselineAllocs, r.InlineAllocs,
+			r.BaselineDerefs, r.InlineDerefs, r.BaselineMisses, r.InlineMisses)
+	}
+	tw.Flush()
+}
+
+// PrintInlinedFields dumps the decision details used in EXPERIMENTS.md.
+func PrintInlinedFields(w io.Writer, scale Scale) error {
+	for _, p := range Programs {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return err
+		}
+		c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			return err
+		}
+		d := c.Optimize.Decision
+		var names []string
+		for _, k := range d.InlinedKeys() {
+			names = append(names, k.String())
+		}
+		fmt.Fprintf(w, "%s: inlined %s\n", p.Name, strings.Join(names, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/bench"
+)
+
+// TestFig14Invariants regenerates the Figure 14 rows at the small scale
+// and checks the paper's structural claims hold at any scale.
+func TestFig14Invariants(t *testing.T) {
+	rows, err := bench.Fig14(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bench.Programs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	better := 0
+	for _, r := range rows {
+		if r.Automatic < r.Declared {
+			t.Errorf("%s: automatic %d < declared %d (paper: never worse than C++)",
+				r.Program, r.Automatic, r.Declared)
+		}
+		if r.Automatic > r.Ideal {
+			t.Errorf("%s: automatic %d > ideal %d (decision is unsound or ideal mis-derived)",
+				r.Program, r.Automatic, r.Ideal)
+		}
+		if r.Total < r.Ideal {
+			t.Errorf("%s: total %d < ideal %d", r.Program, r.Total, r.Ideal)
+		}
+		if r.Automatic > r.Declared {
+			better++
+		}
+	}
+	if better < 3 {
+		t.Errorf("automatic beats declared on %d benchmarks, paper shows 3", better)
+	}
+}
+
+// TestFig15NoBlowup checks the paper's §6.2.1 claim: inlining does not
+// appreciably expand generated code.
+func TestFig15NoBlowup(t *testing.T) {
+	rows, err := bench.Fig15(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk := false
+	for _, r := range rows {
+		ratio := float64(r.Inline) / float64(r.Baseline)
+		if ratio > 1.30 {
+			t.Errorf("%s: inline/base = %.2f (> 1.30 is a code blow-up)", r.Program, ratio)
+		}
+		if ratio < 1.0 {
+			shrunk = true
+		}
+		if r.Baseline <= 0 || r.Inline <= 0 || r.Direct <= 0 {
+			t.Errorf("%s: degenerate sizes %+v", r.Program, r)
+		}
+	}
+	if !shrunk {
+		t.Error("no benchmark shrank; the paper's richards effect is gone")
+	}
+}
+
+// TestFig16Invariants checks that the inlining analyses never need fewer
+// contours than the baseline, and that richards pays a real premium.
+func TestFig16Invariants(t *testing.T) {
+	rows, err := bench.Fig16(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.InlineContours < r.BaselineContours {
+			t.Errorf("%s: inline contours %.2f < baseline %.2f",
+				r.Program, r.InlineContours, r.BaselineContours)
+		}
+		if r.BaselineContours < 1.0 {
+			t.Errorf("%s: contours/method %.2f < 1", r.Program, r.BaselineContours)
+		}
+		if r.Program == "richards" && r.InlineContours <= r.BaselineContours {
+			t.Errorf("richards should need extra sensitivity: %.2f vs %.2f",
+				r.InlineContours, r.BaselineContours)
+		}
+	}
+}
+
+// TestFig17SmallScaleDirections checks Fig17's directions at the small
+// scale (magnitudes are only meaningful at the default scale).
+func TestFig17SmallScaleDirections(t *testing.T) {
+	rows, err := bench.Fig17(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.InlineAllocs > r.BaselineAllocs {
+			t.Errorf("%s: inline allocates more (%d > %d)", r.Program, r.InlineAllocs, r.BaselineAllocs)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: degenerate speedup %f", r.Program, r.Speedup)
+		}
+	}
+}
+
+// TestFig17Deterministic: two runs must produce identical cycle counts
+// (the whole measurement stack is deterministic).
+func TestFig17Deterministic(t *testing.T) {
+	a, err := bench.Fig17(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Fig17(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].BaselineCycles != b[i].BaselineCycles || a[i].InlineCycles != b[i].InlineCycles {
+			t.Errorf("%s: nondeterministic cycles (%d/%d vs %d/%d)",
+				a[i].Program, a[i].BaselineCycles, a[i].InlineCycles, b[i].BaselineCycles, b[i].InlineCycles)
+		}
+	}
+}
+
+// TestPrintersProduceTables smoke-tests the table renderers.
+func TestPrintersProduceTables(t *testing.T) {
+	r14, err := bench.Fig14(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	bench.PrintFig14(&b, r14)
+	out := b.String()
+	for _, frag := range []string{"Figure 14", "oopack", "richards", "automatically inlined"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig14 table missing %q", frag)
+		}
+	}
+	var b2 strings.Builder
+	if err := bench.PrintInlinedFields(&b2, bench.ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "silo: inlined") {
+		t.Errorf("inlined-fields dump: %q", b2.String())
+	}
+}
+
+// TestAblationTagDepthMonotone: deeper tags never inline fewer fields.
+func TestAblationTagDepthMonotone(t *testing.T) {
+	rows, err := bench.AblationTagDepth(bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]int{}
+	for _, r := range rows {
+		if prev, ok := last[r.Program]; ok && r.Inlined < prev {
+			t.Errorf("%s: inlined count dropped from %d to %d at depth %d",
+				r.Program, prev, r.Inlined, r.Depth)
+		}
+		last[r.Program] = r.Inlined
+	}
+	// Richards' nested Tcb.task.data requires depth 3.
+	richardsAt := map[int]int{}
+	for _, r := range rows {
+		if r.Program == "richards" {
+			richardsAt[r.Depth] = r.Inlined
+		}
+	}
+	if richardsAt[3] <= richardsAt[1] {
+		t.Errorf("richards gains nothing from deeper tags: %v", richardsAt)
+	}
+}
+
+// TestAblationCostModelDirections checks that inlining keeps winning under
+// every cost-model variant (the substitution-robustness claim of A2).
+func TestAblationCostModelDirections(t *testing.T) {
+	rows, err := bench.AblationCostModel(bench.ScaleMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Speedup < 0.99 {
+			t.Errorf("%s under %s: inlining loses (%.2fx)", r.Program, r.Variant, r.Speedup)
+		}
+	}
+}

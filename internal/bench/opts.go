@@ -1,0 +1,9 @@
+package bench
+
+import "objinline/internal/analysis"
+
+// analysisOptionsWithDepth builds analysis options with a specific
+// tag-depth cap (ablation A3).
+func analysisOptionsWithDepth(depth int) analysis.Options {
+	return analysis.Options{TagDepth: depth}
+}

@@ -1,0 +1,93 @@
+// Package cachesim models a small set-associative data cache with LRU
+// replacement. The VM feeds it the synthetic heap addresses of every field
+// and array-element access, and the resulting hit/miss counts drive the
+// memory component of the cost model (DESIGN.md §2: this stands in for the
+// SparcStation memory system in the paper's Figure 17 measurements).
+package cachesim
+
+import "fmt"
+
+// Config describes a set-associative cache.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size; must be a power of two
+	Ways      int // associativity; 0 means DefaultConfig.Ways
+}
+
+// DefaultConfig is a 16 KiB 4-way cache with 32-byte lines, in the spirit
+// of the on-chip data caches of mid-90s SPARC workstations (the
+// SuperSPARC's 16 KiB data cache was 4-way associative).
+var DefaultConfig = Config{SizeBytes: 16 * 1024, LineBytes: 32, Ways: 4}
+
+// Cache simulates a set-associative LRU cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	lineShift uint
+	numSets   uint64
+	ways      int
+	// tags[set*ways+way], ordered most-recently-used first within a set;
+	// 0 means empty.
+	tags []uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache for the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cachesim: line size %d not a power of two", cfg.LineBytes))
+	}
+	ways := cfg.Ways
+	if ways <= 0 {
+		ways = DefaultConfig.Ways
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / ways
+	if sets <= 0 {
+		panic("cachesim: cache smaller than one set")
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{lineShift: shift, numSets: uint64(sets), ways: ways, tags: make([]uint64, sets*ways)}
+}
+
+// Access simulates one access to addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line % c.numSets)
+	tag := line + 1 // avoid the zero "empty" encoding
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			// Move to MRU position.
+			copy(c.tags[base+1:base+w+1], c.tags[base:base+w])
+			c.tags[base] = tag
+			c.hits++
+			return true
+		}
+	}
+	// Miss: install at MRU, evicting LRU.
+	copy(c.tags[base+1:base+c.ways], c.tags[base:base+c.ways-1])
+	c.tags[base] = tag
+	c.misses++
+	return false
+}
+
+// Hits returns the number of hits so far.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses so far.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Accesses returns hits + misses.
+func (c *Cache) Accesses() uint64 { return c.hits + c.misses }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,103 @@
+package cachesim
+
+import "testing"
+
+func TestHitAfterFirstAccess(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Ways: 2})
+	if c.Access(0) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(8) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Ways: 4})
+	// 16 lines of capacity; sweep 8 lines repeatedly: after the cold
+	// pass, everything hits.
+	for sweep := 0; sweep < 10; sweep++ {
+		for i := uint64(0); i < 8; i++ {
+			c.Access(i * 32)
+		}
+	}
+	if c.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8 cold misses", c.Misses())
+	}
+}
+
+func TestCyclicSweepLargerThanCacheThrashes(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Ways: 4})
+	// Capacity 32 lines; cyclic sweep over 48 lines with LRU must miss
+	// every time (the classic LRU worst case).
+	sweeps := 10
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i := uint64(0); i < 48; i++ {
+			c.Access(i * 32)
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0 on cyclic thrash", c.Hits())
+	}
+}
+
+func TestAssociativityAvoidsConflicts(t *testing.T) {
+	// Two lines that map to the same set coexist with 2 ways but fight
+	// with 1 way.
+	direct := New(Config{SizeBytes: 256, LineBytes: 32, Ways: 1}) // 8 sets
+	twoWay := New(Config{SizeBytes: 256, LineBytes: 32, Ways: 2}) // 4 sets
+	a, b := uint64(0), uint64(256)                                // same set in the direct-mapped cache
+	for i := 0; i < 10; i++ {
+		direct.Access(a)
+		direct.Access(b)
+		twoWay.Access(a)
+		twoWay.Access(b)
+	}
+	if direct.Hits() != 0 {
+		t.Errorf("direct-mapped conflicting lines should never hit, got %d", direct.Hits())
+	}
+	if twoWay.Hits() != 18 {
+		t.Errorf("two-way hits = %d, want 18", twoWay.Hits())
+	}
+}
+
+func TestAccessesAddUp(t *testing.T) {
+	c := New(DefaultConfig)
+	for i := uint64(0); i < 1000; i++ {
+		c.Access(i * 13)
+	}
+	if c.Accesses() != 1000 || c.Hits()+c.Misses() != 1000 {
+		t.Fatalf("accesses=%d hits=%d misses=%d", c.Accesses(), c.Hits(), c.Misses())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(DefaultConfig)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses() != 0 {
+		t.Fatal("counters survive reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents survive reset")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 64, LineBytes: 33},
+		{SizeBytes: 16, LineBytes: 32, Ways: 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,170 @@
+package clone_test
+
+import (
+	"testing"
+
+	"objinline/internal/analysis"
+	"objinline/internal/clone"
+	"objinline/internal/ir"
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+	"objinline/internal/lower"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *analysis.Result) {
+	t.Helper()
+	tree, err := parser.Parse("t.icc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, analysis.Analyze(prog, analysis.Options{})
+}
+
+const polySrc = `
+class A { def m() { return 1; } }
+class B : A { def m() { return 2; } }
+func call(o) { return o.m(); }
+func main() {
+  print(call(new A()));
+  print(call(new B()));
+}
+`
+
+func TestPartitionCoversEveryContour(t *testing.T) {
+	_, res := analyze(t, polySrc)
+	g := clone.Partition(res, func(*analysis.MethodContour) string { return "" })
+	covered := 0
+	for _, grp := range g.Groups {
+		covered += len(grp.Members)
+		for _, mc := range grp.Members {
+			if g.GroupOf(mc) != grp {
+				t.Errorf("ByContour inconsistent for %s", mc)
+			}
+			if mc.Fn != grp.Fn {
+				t.Errorf("group %s contains foreign contour %s", grp, mc)
+			}
+		}
+	}
+	if covered != len(res.Mcs) {
+		t.Errorf("partition covers %d of %d contours", covered, len(res.Mcs))
+	}
+}
+
+func TestTrivialSigMergesPerFunction(t *testing.T) {
+	// With a constant signature, refinement alone decides the splits; the
+	// polymorphic call() still ends with one group per dispatch target so
+	// cloning can bind statically.
+	prog, res := analyze(t, polySrc)
+	g := clone.Partition(res, func(*analysis.MethodContour) string { return "" })
+	callFn := prog.FuncNamed("call")
+	callGroups := 0
+	for _, grp := range g.Groups {
+		if grp.Fn == callFn {
+			callGroups++
+			// Within one group, the dispatch site must reach exactly one
+			// group per target function.
+			mc := grp.Rep()
+			for id := range mc.Callees {
+				perFn := map[*ir.Func]*clone.Group{}
+				for callee := range mc.Callees[id] {
+					cg := g.GroupOf(callee)
+					if prev, ok := perFn[callee.Fn]; ok && prev != cg {
+						t.Errorf("group %s: site %d reaches two groups of %s", grp, id, callee.Fn.FullName())
+					}
+					perFn[callee.Fn] = cg
+				}
+			}
+		}
+	}
+	if callGroups != 2 {
+		t.Errorf("call() groups = %d, want 2 (one per receiver class)", callGroups)
+	}
+}
+
+func TestDiscriminatingSigSplits(t *testing.T) {
+	_, res := analyze(t, polySrc)
+	// A signature that isolates every contour produces one group each.
+	g := clone.Partition(res, func(mc *analysis.MethodContour) string {
+		return mc.Key
+	})
+	for _, grp := range g.Groups {
+		if len(grp.Members) != 1 && grp.Fn.Name != "main" {
+			// Contours with identical keys can still merge; ensure the
+			// grouping at least respects the signature.
+			k := grp.Members[0].Key
+			for _, mc := range grp.Members {
+				if mc.Key != k {
+					t.Errorf("group %s mixes keys %q and %q", grp, k, mc.Key)
+				}
+			}
+		}
+	}
+}
+
+func TestCalleeGroupsSorted(t *testing.T) {
+	prog, res := analyze(t, polySrc)
+	g := clone.Partition(res, func(*analysis.MethodContour) string { return "" })
+	main := prog.Main
+	for _, grp := range g.Groups {
+		if grp.Fn != main {
+			continue
+		}
+		grp.Rep().Fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if !in.IsCall() {
+				return
+			}
+			groups := g.CalleeGroups(grp, in.ID)
+			for i := 1; i < len(groups); i++ {
+				if groups[i-1].ID >= groups[i].ID {
+					t.Errorf("CalleeGroups unsorted")
+				}
+			}
+		})
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, res := analyze(t, polySrc)
+	g := clone.Partition(res, func(*analysis.MethodContour) string { return "" })
+	st := g.Stats()
+	if st.Groups < st.Funcs {
+		t.Errorf("groups %d < funcs %d", st.Groups, st.Funcs)
+	}
+	if st.ClonesAdded != st.Groups-st.Funcs {
+		t.Errorf("ClonesAdded inconsistent: %+v", st)
+	}
+}
+
+func TestDeterministicGrouping(t *testing.T) {
+	// Group structure must be identical across runs (map iteration must
+	// not leak into the result).
+	shape := func() []int {
+		_, res := analyze(t, polySrc)
+		g := clone.Partition(res, func(mc *analysis.MethodContour) string { return mc.Key })
+		var sizes []int
+		for _, grp := range g.Groups {
+			sizes = append(sizes, len(grp.Members)*1000+grp.Fn.ID)
+		}
+		return sizes
+	}
+	a := shape()
+	for i := 0; i < 5; i++ {
+		b := shape()
+		if len(a) != len(b) {
+			t.Fatalf("group count varies: %v vs %v", a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("grouping not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/analysis"
+	"objinline/internal/core"
+	"objinline/internal/ir"
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+	"objinline/internal/lower"
+	"objinline/internal/vm"
+)
+
+func optimize(t *testing.T, src string) (*ir.Program, *core.Result) {
+	t.Helper()
+	tree, err := parser.Parse("t.icc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(tree)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	prog, err := lower.Lower(info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	res := analysis.Analyze(prog, analysis.Options{Tags: true})
+	opt, err := core.Optimize(prog, res, core.Options{Inline: true})
+	if err != nil {
+		t.Fatalf("optimize: %v\nanalysis:\n%s", err, res)
+	}
+	return prog, opt
+}
+
+// runBoth executes the source unoptimized and optimized and checks output
+// equality, returning the optimizer result.
+func runBoth(t *testing.T, src string) *core.Result {
+	t.Helper()
+	tree, _ := parser.Parse("t.icc", src)
+	info, err := sem.Check(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantOut strings.Builder
+	if _, err := vm.New(prog, vm.Options{Out: &wantOut, MaxSteps: 10_000_000}).Run(); err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	_, opt := optimize(t, src)
+	var gotOut strings.Builder
+	if _, err := vm.New(opt.Prog, vm.Options{Out: &gotOut, MaxSteps: 10_000_000}).Run(); err != nil {
+		t.Fatalf("optimized run: %v\nprogram:\n%s", err, opt.Prog.String())
+	}
+	if gotOut.String() != wantOut.String() {
+		t.Fatalf("output mismatch:\n direct: %q\n optimized: %q\nprogram:\n%s",
+			wantOut.String(), gotOut.String(), opt.Prog.String())
+	}
+	return opt
+}
+
+func inlined(opt *core.Result) map[string]bool {
+	out := make(map[string]bool)
+	for _, k := range opt.Decision.InlinedKeys() {
+		out[k.String()] = true
+	}
+	return out
+}
+
+// --- assignment specialization (valuability) scenarios ---
+
+func TestFactoryFunctionEnablesInlining(t *testing.T) {
+	// The stored value comes from a fresh-returning factory, the
+	// FreshReturn extension of the CallByValue chain.
+	opt := runBoth(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } def get() { return self.p.x; } }
+func mk(v) { return new P(v); }
+func main() {
+  var h = new H(mk(7));
+  print(h.get());
+}
+`)
+	if !inlined(opt)["H.p"] {
+		t.Errorf("H.p not inlined via factory; rejected: %v", opt.Decision.Rejected)
+	}
+}
+
+func TestDeepParameterChain(t *testing.T) {
+	// The value passes through three levels of by-value parameters before
+	// the mutator stores it.
+	opt := runBoth(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func lvl1(p) { return lvl2(p); }
+func lvl2(p) { return lvl3(p); }
+func lvl3(p) { return new H(p); }
+func main() {
+  var h = lvl1(new P(3));
+  print(h.p.x);
+}
+`)
+	if !inlined(opt)["H.p"] {
+		t.Errorf("H.p not inlined through parameter chain; rejected: %v", opt.Decision.Rejected)
+	}
+}
+
+func TestLoopCarriedStoreInlines(t *testing.T) {
+	// A fresh object stored each iteration: the "use after handoff" is a
+	// new value (killed by the redefinition), so the store is safe.
+	opt := runBoth(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var last = nil;
+  for (var i = 0; i < 5; i = i + 1) {
+    last = new H(new P(i));
+  }
+  print(last.p.x);
+}
+`)
+	if !inlined(opt)["H.p"] {
+		t.Errorf("loop-carried store not inlined; rejected: %v", opt.Decision.Rejected)
+	}
+}
+
+func TestValueReadBeforeStoreIsFine(t *testing.T) {
+	opt := runBoth(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var v = new P(4);
+  print(v.x);        // read before the handoff: allowed
+  var h = new H(v);
+  print(h.p.x);
+}
+`)
+	if !inlined(opt)["H.p"] {
+		t.Errorf("read-before-store rejected; rejected: %v", opt.Decision.Rejected)
+	}
+}
+
+func TestValueReturnedAfterStoreBlocks(t *testing.T) {
+	opt := runBoth(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func makeBoth(v) {
+  var h = new H(v);
+  return v; // the original escapes after the store
+}
+func main() {
+  var v = new P(1);
+  var w = makeBoth(v);
+  print(w.x);
+}
+`)
+	if inlined(opt)["H.p"] {
+		t.Error("H.p inlined although the stored value escapes via return")
+	}
+}
+
+func TestGlobalAliasBlocks(t *testing.T) {
+	opt := runBoth(t, `
+var keep;
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var v = new P(9);
+  keep = v;
+  var h = new H(v);
+  keep.x = 5;
+  print(h.p.x);
+}
+`)
+	if inlined(opt)["H.p"] {
+		t.Error("H.p inlined although the value is aliased through a global")
+	}
+}
+
+func TestConditionalOtherStoreBlocks(t *testing.T) {
+	// The alternate branch stores the value elsewhere; flow-insensitive
+	// "no other stores" must reject.
+	opt := runBoth(t, `
+var g;
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var v = new P(2);
+  if (1 < 2) {
+    var h = new H(v);
+    print(h.p.x);
+  } else {
+    g = v;
+  }
+}
+`)
+	if inlined(opt)["H.p"] {
+		t.Error("H.p inlined although another branch stores the value")
+	}
+}
+
+// --- class versioning and cloning scenarios ---
+
+func TestPolymorphicContainerVersions(t *testing.T) {
+	opt := runBoth(t, `
+class Small { v; def init(v) { self.v = v; } def size() { return 1; } }
+class Big { a; b; c; def init(a, b, c) { self.a = a; self.b = b; self.c = c; } def size() { return 3; } }
+class Box { it; def init(it) { self.it = it; } def size() { return self.it.size(); } }
+func main() {
+  var b1 = new Box(new Small(1));
+  var b2 = new Box(new Big(1, 2, 3));
+  print(b1.size(), b2.size());
+}
+`)
+	if !inlined(opt)["Box.it"] {
+		t.Fatalf("polymorphic Box.it not inlined; rejected: %v", opt.Decision.Rejected)
+	}
+	// Two differently-shaped Box versions must exist.
+	boxVersions := 0
+	for _, c := range opt.Prog.Classes {
+		if c.Origin != nil && c.Origin.Name == "Box" {
+			boxVersions++
+		}
+	}
+	if boxVersions < 2 {
+		t.Errorf("Box versions = %d, want >= 2", boxVersions)
+	}
+}
+
+func TestClassSubversionForDispatch(t *testing.T) {
+	// Box.p is NOT inlinable (aliased), so both boxes share a layout;
+	// but probe()'s body dispatches differently per box, so the class must
+	// still be cloned "based upon the object contours" for the merged
+	// dispatch site to pick the right probe clone.
+	opt := runBoth(t, `
+var g1; var g2;
+class P1 { def tag() { return 1; } }
+class P2 { def tag() { return 2; } }
+class Box {
+  p;
+  def init(x) { self.p = x; }
+  def probe() { return self.p.tag(); }
+}
+func pick(a, b, f) { if (f) { return a; } return b; }
+func main() {
+  var x1 = new P1();
+  var x2 = new P2();
+  g1 = x1;
+  g2 = x2;
+  var b1 = new Box(x1);
+  var b2 = new Box(x2);
+  print(pick(b1, b2, true).probe());
+  print(pick(b1, b2, false).probe());
+  print(b1.probe(), b2.probe());
+}
+`)
+	if got := inlined(opt); got["Box.p"] {
+		t.Errorf("Box.p must not inline (aliased): %v", got)
+	}
+}
+
+func TestBaselineModeStillCleansDispatch(t *testing.T) {
+	src := `
+class A { def m() { return 1; } }
+class B : A { def m() { return 2; } }
+func call(o) { return o.m(); }
+func main() {
+  print(call(new A()), call(new B()));
+}
+`
+	tree, _ := parser.Parse("t.icc", src)
+	info, err := sem.Check(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Analyze(prog, analysis.Options{})
+	opt, err := core.Optimize(prog, res, core.Options{Inline: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// call is split per receiver class, so each clone's dispatch site is
+	// statically bound.
+	dynamic := 0
+	for _, f := range opt.Prog.Funcs {
+		f.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpCallMethod {
+				dynamic++
+			}
+		})
+	}
+	if dynamic != 0 {
+		t.Errorf("dynamic dispatches remain: %d\n%s", dynamic, opt.Prog.String())
+	}
+}
+
+func TestStackSitesCounted(t *testing.T) {
+	_, opt := optimize(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var h = new H(new P(1));
+  print(h.p.x);
+}
+`)
+	if opt.StackSites == 0 {
+		t.Error("no stackable allocation sites found")
+	}
+}
+
+func TestNestedVersionLayouts(t *testing.T) {
+	// Outer contains Mid contains Inner: the outer version's slot count
+	// must equal the fully flattened size.
+	_, opt := optimize(t, `
+class Inner { a; b; def init(a, b) { self.a = a; self.b = b; } }
+class Mid { in; tag; def init(i, t) { self.in = i; self.tag = t; } }
+class Outer { m; def init(m) { self.m = m; } }
+func main() {
+  var o = new Outer(new Mid(new Inner(1, 2), 3));
+  print(o.m.in.a + o.m.in.b + o.m.tag);
+}
+`)
+	var outer *ir.Class
+	for _, c := range opt.Prog.Classes {
+		if c.Origin != nil && c.Origin.Name == "Outer" {
+			outer = c
+		}
+	}
+	if outer == nil {
+		t.Fatal("no Outer version")
+	}
+	// Outer.m -> Mid{Inner{a,b}, tag} -> 3 flattened slots.
+	if outer.NumSlots() != 3 {
+		t.Errorf("Outer flattened slots = %d, want 3 (layout: %s)", outer.NumSlots(), outer.LayoutString())
+	}
+}
+
+func TestSubclassVersionConformance(t *testing.T) {
+	// Restructured subclass layouts must still extend their superclass
+	// version's layout (prefix property).
+	_, opt := optimize(t, `
+class P { x; y; def init(x, y) { self.x = x; self.y = y; } }
+class R { ll; def init(a) { self.ll = a; } def get() { return self.ll.x; } }
+class S : R { extra; def init(a, e) { self.ll = a; self.extra = e; } }
+func main() {
+  var r = new R(new P(1, 2));
+  var s = new S(new P(3, 4), 5);
+  print(r.get(), s.get(), s.extra);
+}
+`)
+	for _, c := range opt.Prog.Classes {
+		if c.Super == nil {
+			continue
+		}
+		for i, f := range c.Super.Fields {
+			if c.Fields[i] != f {
+				t.Errorf("class %s slot %d does not extend its super %s", c.Name, i, c.Super.Name)
+			}
+		}
+	}
+}
+
+func TestDecisionReportsRejections(t *testing.T) {
+	_, opt := optimize(t, `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var v = new P(1);
+  var h1 = new H(v);
+  var h2 = new H(v);
+  print(h1.p == h2.p);
+}
+`)
+	found := false
+	for k, why := range opt.Decision.Rejected {
+		if k.String() == "H.p" && why != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("H.p rejection not recorded: %v", opt.Decision.Rejected)
+	}
+}
+
+func TestOptimizeIsIdempotentOnEmptyPrograms(t *testing.T) {
+	_, opt := optimize(t, `func main() { print("hi"); }`)
+	if len(opt.Decision.Inlined) != 0 {
+		t.Errorf("inlined something in an object-free program: %v", opt.Decision.Inlined)
+	}
+	var out strings.Builder
+	if _, err := vm.New(opt.Prog, vm.Options{Out: &out}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hi\n" {
+		t.Errorf("output %q", out.String())
+	}
+}

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"objinline/internal/analysis"
+	"objinline/internal/ir"
+)
+
+// Decision is the outcome of the inlinability analysis: the set of fields
+// (and array-allocation sites) that will be inline allocated, plus the
+// reasons rejected candidates were dropped (reported in Figure 14 and
+// EXPERIMENTS.md).
+type Decision struct {
+	// Inlined is the final candidate set.
+	Inlined map[analysis.FieldKey]bool
+	// Initial is the candidate set before global consistency pruning.
+	Initial map[analysis.FieldKey]bool
+	// Rejected maps each rejected candidate (or non-candidate object
+	// field) to the reason.
+	Rejected map[analysis.FieldKey]string
+	// ObjectFields is the Figure 14 denominator: every field that holds
+	// objects, plus every array site holding objects.
+	ObjectFields []analysis.FieldKey
+}
+
+// Has reports whether key was selected for inlining.
+func (d *Decision) Has(k analysis.FieldKey) bool { return d.Inlined[k] }
+
+// InlinedKeys returns the selected keys in deterministic order.
+func (d *Decision) InlinedKeys() []analysis.FieldKey {
+	out := make([]analysis.FieldKey, 0, len(d.Inlined))
+	for k := range d.Inlined {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// decide runs use-specialization consistency plus assignment-
+// specialization safety over the analysis result.
+func decide(prog *ir.Program, res *analysis.Result, val *valuability) *Decision {
+	d := &Decision{
+		Inlined:  make(map[analysis.FieldKey]bool),
+		Initial:  make(map[analysis.FieldKey]bool),
+		Rejected: make(map[analysis.FieldKey]string),
+	}
+	d.ObjectFields = append(res.ObjectFields(), res.ObjectArraySites()...)
+
+	reject := func(k analysis.FieldKey, reason string) {
+		if d.Inlined[k] {
+			delete(d.Inlined, k)
+		}
+		if _, dup := d.Rejected[k]; !dup {
+			d.Rejected[k] = reason
+		}
+	}
+
+	// Local candidate filters: field contents must be a single class of
+	// plain objects, stored values must be original objects (NoField), and
+	// every store must be convertible to a copy.
+	ocsByKey := make(map[analysis.FieldKey][]*analysis.ObjContour)
+	for _, oc := range res.Objs {
+		for _, f := range oc.Class.Fields {
+			k := analysis.FieldKey{Class: f.Owner, Name: f.Name}
+			ocsByKey[k] = append(ocsByKey[k], oc)
+		}
+	}
+	for _, k := range res.ObjectFields() {
+		reason := fieldLocallyInlinable(k, ocsByKey[k])
+		if reason != "" {
+			reject(k, reason)
+			continue
+		}
+		d.Inlined[k] = true
+	}
+	acsByKey := make(map[analysis.FieldKey][]*analysis.ArrContour)
+	for _, ac := range res.Arrs {
+		k := arrKey(ac)
+		acsByKey[k] = append(acsByKey[k], ac)
+	}
+	for _, k := range res.ObjectArraySites() {
+		reason := arrayLocallyInlinable(acsByKey[k])
+		if reason != "" {
+			reject(k, reason)
+			continue
+		}
+		d.Inlined[k] = true
+	}
+
+	// Assignment specialization: every store into a candidate must pass
+	// the by-value check.
+	checkStores(prog, res, val, d, reject)
+
+	// Containment cycles cannot be flattened.
+	rejectContainmentCycles(res, ocsByKey, d, reject)
+
+	for k := range d.Inlined {
+		d.Initial[k] = true
+	}
+
+	// Global consistency: iterate until every value's representation is
+	// unambiguous under the surviving candidate set (the paper's "tags of
+	// the given field must not be confused with tags from any other
+	// field").
+	pruneInconsistent(prog, res, d)
+	return d
+}
+
+func arrKey(ac *analysis.ArrContour) analysis.FieldKey {
+	return analysis.FieldKey{Array: true, ASiteUID: ac.SiteFn.ID*1_000_000 + ac.Site.ID}
+}
+
+// fieldLocallyInlinable checks the per-contour content conditions for an
+// object field; it returns a rejection reason or "".
+func fieldLocallyInlinable(k analysis.FieldKey, ocs []*analysis.ObjContour) string {
+	sawContent := false
+	for _, oc := range ocs {
+		st := oc.FieldState(k.Name)
+		if st == nil {
+			continue
+		}
+		if st.TS.IsEmpty() {
+			continue // this contour never stores the field
+		}
+		if st.TS.Prims != 0 {
+			if st.TS.Prims == analysis.PNil && !st.TS.HasObjects() {
+				continue
+			}
+			return "field may hold nil or primitives"
+		}
+		if len(st.TS.Arrs) > 0 {
+			return "field holds arrays (array-into-object inlining unsupported)"
+		}
+		classes := st.TS.Classes()
+		if len(classes) != 1 {
+			return fmt.Sprintf("field polymorphic within one contour (%v)", classes)
+		}
+		heads, noField, top := st.Tags.Heads()
+		if top {
+			return "stored values have confused provenance"
+		}
+		if len(heads) > 0 || !noField {
+			return "stored values are not original objects"
+		}
+		sawContent = true
+	}
+	if !sawContent {
+		return "field never stores an object"
+	}
+	return ""
+}
+
+func arrayLocallyInlinable(acs []*analysis.ArrContour) string {
+	elemClass := ""
+	for _, ac := range acs {
+		st := &ac.Elem
+		if st.TS.IsEmpty() {
+			continue
+		}
+		if st.TS.Prims != 0 || len(st.TS.Arrs) > 0 {
+			return "elements may hold nil, primitives, or arrays"
+		}
+		classes := st.TS.Classes()
+		if len(classes) != 1 {
+			return fmt.Sprintf("array polymorphic (%v)", classes)
+		}
+		if elemClass == "" {
+			elemClass = classes[0]
+		} else if elemClass != classes[0] {
+			return "array site polymorphic across contours"
+		}
+		heads, noField, top := st.Tags.Heads()
+		if top || len(heads) > 0 || !noField {
+			return "stored elements are not original objects"
+		}
+	}
+	if elemClass == "" {
+		return "array never stores an object"
+	}
+	return ""
+}
+
+// checkStores applies assignment specialization (§4.2) to every store
+// into a candidate field or array.
+func checkStores(prog *ir.Program, res *analysis.Result, val *valuability, d *Decision, reject func(analysis.FieldKey, string)) {
+	// Receiver type info is contour-level; collect, per function and
+	// instruction, the union of receiver contours.
+	for _, mc := range res.Mcs {
+		fn := mc.Fn
+		fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpSetField:
+				base := mc.Reg(in.Args[0])
+				for _, oc := range base.TS.ObjList() {
+					owner := fieldOwner(oc.Class, in.Field.Name)
+					if owner == nil {
+						continue
+					}
+					k := analysis.FieldKey{Class: owner, Name: in.Field.Name}
+					if !d.Inlined[k] {
+						continue
+					}
+					if !val.SafeStore(fn, in) {
+						reject(k, fmt.Sprintf("store at %s not convertible to a copy (value may be aliased or used later)", in.Pos))
+					}
+				}
+			case ir.OpArrSet:
+				base := mc.Reg(in.Args[0])
+				for _, ac := range base.TS.ArrList() {
+					k := arrKey(ac)
+					if !d.Inlined[k] {
+						continue
+					}
+					if !val.SafeStore(fn, in) {
+						reject(k, fmt.Sprintf("element store at %s not convertible to a copy", in.Pos))
+					}
+				}
+			}
+		})
+	}
+}
+
+func fieldOwner(c *ir.Class, name string) *ir.Class {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f.Owner
+		}
+	}
+	return nil
+}
+
+// rejectContainmentCycles drops candidates that would flatten a class into
+// itself (directly or transitively).
+func rejectContainmentCycles(res *analysis.Result, ocsByKey map[analysis.FieldKey][]*analysis.ObjContour, d *Decision, reject func(analysis.FieldKey, string)) {
+	// Edges: container class -> child class per candidate field.
+	for changed := true; changed; {
+		changed = false
+		// child classes per candidate.
+		type edge struct {
+			key   analysis.FieldKey
+			from  *ir.Class
+			child *ir.Class
+		}
+		var edges []edge
+		for k := range d.Inlined {
+			if k.Array {
+				continue // arrays are not classes; they cannot close a cycle
+			}
+			for _, oc := range ocsByKey[k] {
+				st := oc.FieldState(k.Name)
+				if st == nil {
+					continue
+				}
+				for _, child := range st.TS.ObjList() {
+					edges = append(edges, edge{k, k.Class, child.Class})
+				}
+			}
+		}
+		// DFS cycle detection over class containment.
+		adj := make(map[*ir.Class][]edge)
+		for _, e := range edges {
+			adj[e.from] = append(adj[e.from], e)
+		}
+		var stack []*ir.Class
+		onStack := make(map[*ir.Class]bool)
+		visited := make(map[*ir.Class]bool)
+		var dfs func(c *ir.Class) *analysis.FieldKey
+		dfs = func(c *ir.Class) *analysis.FieldKey {
+			visited[c] = true
+			onStack[c] = true
+			stack = append(stack, c)
+			for _, e := range adj[c] {
+				// Containment applies to the child's whole family: a
+				// subclass instance stored in the field closes the cycle
+				// too.
+				for target := e.child; target != nil; target = target.Super {
+					if onStack[target] {
+						k := e.key
+						return &k
+					}
+				}
+				if !visited[e.child] {
+					if bad := dfs(e.child); bad != nil {
+						return bad
+					}
+				}
+			}
+			onStack[c] = false
+			stack = stack[:len(stack)-1]
+			return nil
+		}
+		classes := make([]*ir.Class, 0, len(adj))
+		for c := range adj {
+			classes = append(classes, c)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i].ID < classes[j].ID })
+		for _, c := range classes {
+			if visited[c] {
+				continue
+			}
+			stack = stack[:0]
+			clear(onStack)
+			if bad := dfs(c); bad != nil {
+				reject(*bad, "containment cycle (class would inline into itself)")
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// candidateContentClasses maps class names to the candidates whose content
+// may be of that class. When confusion cannot be attributed through tags
+// (a fully saturated tag set), any candidate whose containee classes
+// overlap the value's classes could be involved and must go.
+func candidateContentClasses(res *analysis.Result, d *Decision) map[string][]analysis.FieldKey {
+	out := make(map[string][]analysis.FieldKey)
+	add := func(k analysis.FieldKey, st *analysis.VarState) {
+		for _, cls := range st.TS.Classes() {
+			out[cls] = append(out[cls], k)
+		}
+	}
+	for _, oc := range res.Objs {
+		for _, f := range oc.Class.Fields {
+			k := analysis.FieldKey{Class: f.Owner, Name: f.Name}
+			if d.Has(k) {
+				add(k, &oc.Fields[f.Slot])
+			}
+		}
+	}
+	for _, ac := range res.Arrs {
+		if k := arrKey(ac); d.Has(k) {
+			add(k, &ac.Elem)
+		}
+	}
+	return out
+}
+
+// pruneInconsistent removes candidates until every object value's
+// representation is unambiguous, and opaque uses (builtins, mixed identity
+// comparisons, dynamic dispatch on array interiors) are rep-free.
+func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
+	has := func(k analysis.FieldKey) bool { return d.Inlined[k] }
+	for round := 0; round < len(d.Initial)+2; round++ {
+		removedAny := false
+		byClass := candidateContentClasses(res, d)
+		repable := repableContours(res, d)
+		couldBeRep := func(ts *analysis.TypeSet) bool {
+			for oc := range ts.Objs {
+				if repable[oc] {
+					return true
+				}
+			}
+			return false
+		}
+		var confusedTS *analysis.TypeSet
+		remove := func(rep analysis.Rep, tags *analysis.TagSet, reason string) {
+			victims := rep.Involved
+			if len(victims) == 0 {
+				victims = rep.Fields
+			}
+			if len(victims) == 0 {
+				// Confusion without attribution: fall back to raw heads.
+				heads, _, _ := tags.Heads()
+				victims = make(map[analysis.FieldKey]bool)
+				for _, h := range heads {
+					victims[h] = true
+				}
+			}
+			if len(victims) == 0 && confusedTS != nil {
+				// Fully saturated tags: attribute by class overlap.
+				victims = make(map[analysis.FieldKey]bool)
+				for _, cls := range confusedTS.Classes() {
+					for _, k := range byClass[cls] {
+						victims[k] = true
+					}
+				}
+			}
+			keys := make([]analysis.FieldKey, 0, len(victims))
+			for k := range victims {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+			for _, k := range keys {
+				if d.Inlined[k] {
+					delete(d.Inlined, k)
+					d.Rejected[k] = reason
+					removedAny = true
+				}
+			}
+		}
+		checkValue := func(v *analysis.VarState, where string) {
+			if !v.TS.HasObjects() || !couldBeRep(&v.TS) {
+				return
+			}
+			confusedTS = &v.TS
+			rep := res.RepsOf(&v.Tags, has)
+			switch {
+			case rep.Confused:
+				remove(rep, &v.Tags, "value with confused provenance at "+where)
+			case rep.Raw && len(rep.Fields) > 0:
+				remove(rep, &v.Tags, "value may be original object or inlined state at "+where)
+			case len(rep.Fields) > 1:
+				remove(rep, &v.Tags, "value may come from several inlined fields at "+where)
+			}
+		}
+		for _, mc := range res.Mcs {
+			for i := range mc.Regs {
+				checkValue(&mc.Regs[i], mc.Fn.FullName())
+			}
+			checkValue(&mc.Ret, mc.Fn.FullName()+" return")
+		}
+		for _, oc := range res.Objs {
+			for i := range oc.Fields {
+				checkValue(&oc.Fields[i], oc.Class.Name+" field")
+			}
+		}
+		for _, ac := range res.Arrs {
+			checkValue(&ac.Elem, "array element")
+		}
+		for i := range res.Globals {
+			checkValue(&res.Globals[i], "global")
+		}
+
+		// Opaque uses.
+		for _, mc := range res.Mcs {
+			mc.Fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+				switch in.Op {
+				case ir.OpBuiltin:
+					for _, a := range in.Args {
+						v := mc.Reg(a)
+						if !v.TS.HasObjects() || !couldBeRep(&v.TS) {
+							continue
+						}
+						confusedTS = &v.TS
+						rep := res.RepsOf(&v.Tags, has)
+						if !rep.PureRaw() && (len(rep.Fields) > 0 || rep.Confused) {
+							remove(rep, &v.Tags, "inlined value escapes to a builtin at "+in.Pos.String())
+						}
+					}
+				case ir.OpBin:
+					op := ir.BinOp(in.Aux)
+					if op != ir.BinEq && op != ir.BinNe {
+						return
+					}
+					x, y := mc.Reg(in.Args[0]), mc.Reg(in.Args[1])
+					if !x.TS.HasObjects() && !y.TS.HasObjects() {
+						return
+					}
+					confusedTS = &x.TS
+					repX := res.RepsOf(&x.Tags, has)
+					repY := res.RepsOf(&y.Tags, has)
+					if len(repX.Fields) == 0 && len(repY.Fields) == 0 {
+						return
+					}
+					// Identity is preserved only when both sides are reps
+					// of the same single field, or one side can never be
+					// an object.
+					fx, okX := repX.Unique()
+					fy, okY := repY.Unique()
+					if okX && okY && fx == fy {
+						return
+					}
+					if okX && !y.TS.HasObjects() {
+						return
+					}
+					if okY && !x.TS.HasObjects() {
+						return
+					}
+					repX.Add(repY)
+					remove(repX, &x.Tags, "identity comparison mixes inlined and other values at "+in.Pos.String())
+				case ir.OpCallMethod:
+					// Dispatch on an array-interior rep must be statically
+					// bound: require one tag and one target.
+					recv := mc.Reg(in.Args[0])
+					if !recv.TS.HasObjects() {
+						return
+					}
+					confusedTS = &recv.TS
+					rep := res.RepsOf(&recv.Tags, has)
+					k, ok := rep.Unique()
+					if !ok || !k.Array {
+						return
+					}
+					if len(mc.Targets[in.ID]) > 1 || recv.Tags.Len() > 1 {
+						remove(rep, &recv.Tags, "polymorphic dispatch on array-inlined value at "+in.Pos.String())
+					}
+				}
+			})
+		}
+		if !removedAny {
+			return
+		}
+	}
+}

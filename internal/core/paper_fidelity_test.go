@@ -1,0 +1,183 @@
+package core_test
+
+// Paper-fidelity tests: check that the transformation performs the exact
+// code changes of the paper's Figures 10-13 on the running example — not
+// just that the output is right, but that accesses were elided, redirected
+// to the container's inlined state, and assignments expanded into copies.
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/ir"
+)
+
+const rectangleSrc = `
+class Point {
+  x_pos; y_pos;
+  def init(x, y) { self.x_pos = x; self.y_pos = y; }
+  def area(p) { return abs(self.x_pos - p.x_pos) * abs(self.y_pos - p.y_pos); }
+}
+class Rectangle {
+  lower_left; upper_right;
+  def init(ll, ur) { self.lower_left = ll; self.upper_right = ur; }
+  def area() { return self.lower_left.area(self.upper_right); }
+}
+func main() {
+  var r = new Rectangle(new Point(1.0, 2.0), new Point(4.0, 6.0));
+  print(r.area());
+  print(r.area());
+}
+`
+
+// findClones returns the transformed functions originating from the named
+// source function.
+func findClones(p *ir.Program, fullName string) []*ir.Func {
+	var out []*ir.Func
+	for _, f := range p.Funcs {
+		origin := f
+		if f.Origin != nil {
+			origin = f.Origin
+		}
+		if origin.FullName() == fullName {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestFig12AccessesElided(t *testing.T) {
+	opt := runBoth(t, rectangleSrc)
+	if !inlined(opt)["Rectangle.lower_left"] || !inlined(opt)["Rectangle.upper_right"] {
+		t.Fatalf("corners not inlined: %v", opt.Decision.Rejected)
+	}
+
+	// Figure 12: in Rectangle::area, the loads of lower_left/upper_right
+	// are elided — the clone must contain no GetField of those names.
+	areas := findClones(opt.Prog, "Rectangle::area")
+	if len(areas) == 0 {
+		t.Fatal("no Rectangle::area clone")
+	}
+	for _, f := range areas {
+		f.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpGetField &&
+				(in.Field.Name == "lower_left" || in.Field.Name == "upper_right") {
+				t.Errorf("%s still loads %s: %s", f.FullName(), in.Field.Name, in)
+			}
+		})
+	}
+
+	// Figure 12: the specialized Point::area reads the container's
+	// inlined state — mangled slots like lower_left$x_pos.
+	pointAreas := findClones(opt.Prog, "Point::area")
+	sawContainerSlot := false
+	for _, f := range pointAreas {
+		f.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpGetField && strings.Contains(in.Field.Name, "$") {
+				sawContainerSlot = true
+			}
+		})
+	}
+	if !sawContainerSlot {
+		t.Errorf("no Point::area clone reads container slots\n%s", opt.Prog.String())
+	}
+}
+
+func TestFig11ClassRestructured(t *testing.T) {
+	opt := runBoth(t, rectangleSrc)
+	var rect *ir.Class
+	for _, c := range opt.Prog.Classes {
+		if c.Origin != nil && c.Origin.Name == "Rectangle" {
+			rect = c
+		}
+	}
+	if rect == nil {
+		t.Fatal("no Rectangle version")
+	}
+	// Figure 11: both point fields are replaced by the points' state —
+	// 2+2 slots, no reference slots left.
+	if rect.NumSlots() != 4 {
+		t.Errorf("Rectangle' slots = %d, want 4:\n%s", rect.NumSlots(), rect.LayoutString())
+	}
+	for _, f := range rect.Fields {
+		if !f.Synthetic {
+			t.Errorf("non-synthetic slot %s survived restructuring", f)
+		}
+	}
+}
+
+func TestFig10AssignmentExpandedToCopies(t *testing.T) {
+	opt := runBoth(t, rectangleSrc)
+	// §5.4: the constructor's stores into the inlined fields become
+	// per-slot copies: Rectangle::init must contain 4 SetFields (x/y per
+	// corner) and no store of a whole reference to lower_left.
+	inits := findClones(opt.Prog, "Rectangle::init")
+	if len(inits) == 0 {
+		t.Fatal("no Rectangle::init clone")
+	}
+	for _, f := range inits {
+		stores := 0
+		f.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpSetField {
+				stores++
+				if in.Field.Name == "lower_left" || in.Field.Name == "upper_right" {
+					t.Errorf("%s still stores a reference into %s", f.FullName(), in.Field.Name)
+				}
+			}
+		})
+		if stores != 4 {
+			t.Errorf("%s has %d stores, want 4 per-slot copies:\n%s", f.FullName(), stores, f.String())
+		}
+	}
+}
+
+func TestFig13ArrayAccessesUseInterior(t *testing.T) {
+	src := `
+class P { x; y; def init(x, y) { self.x = x; self.y = y; } def s() { return self.x + self.y; } }
+func main() {
+  var a = new [8];
+  for (var i = 0; i < 8; i = i + 1) { a[i] = new P(i, i + 1); }
+  var t = 0;
+  for (var i = 0; i < 8; i = i + 1) { t = t + a[i].s(); }
+  print(t);
+}
+`
+	opt := runBoth(t, src)
+	foundInlArray, foundInterior, foundPlainGet := false, false, false
+	for _, f := range opt.Prog.Funcs {
+		f.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpNewArrayInl:
+				foundInlArray = true
+			case ir.OpArrInterior:
+				foundInterior = true
+			case ir.OpArrGet:
+				foundPlainGet = true
+			}
+		})
+	}
+	if !foundInlArray {
+		t.Error("array allocation not rewritten to inlined form")
+	}
+	if !foundInterior {
+		t.Error("no interior references emitted (Figure 13's index-passing)")
+	}
+	if foundPlainGet {
+		t.Error("plain array loads survive on the inlined array")
+	}
+}
+
+func TestStackedTemporariesMarked(t *testing.T) {
+	opt := runBoth(t, rectangleSrc)
+	stacked := 0
+	for _, f := range opt.Prog.Funcs {
+		f.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpNewObject && in.Aux == 1 {
+				stacked++
+			}
+		})
+	}
+	if stacked != 2 {
+		t.Errorf("stack-allocated temporaries = %d, want 2 (the corner points)", stacked)
+	}
+}

@@ -1,0 +1,269 @@
+// Package funcinline inlines small statically-bound callees into their
+// callers and removes functions that become unreachable.
+//
+// The paper's code-size result (§6.2.1) leans on this: "most of the
+// specialized methods are inlined, so the cloned methods are not generated
+// by themselves anyway". After cloning and object inlining have turned
+// dispatches into static calls to small specialized methods, absorbing
+// those methods into their callers is what lets the cloned program end up
+// *smaller* than the original. The pass is applied identically to the
+// baseline and inlining pipelines.
+package funcinline
+
+import (
+	"objinline/internal/ir"
+	"objinline/internal/lower"
+)
+
+// Options tunes the inliner.
+type Options struct {
+	// MaxTinySize: leaves at most this large inline at every site (the
+	// duplication is cheaper than the call).
+	MaxTinySize int
+	// MaxSingleSize: leaves at most this large inline when they have
+	// exactly one static call site (the out-of-line copy disappears, so
+	// the program shrinks by the call overhead).
+	MaxSingleSize int
+	// MaxCallerSize stops inlining into callers that have grown past this.
+	MaxCallerSize int
+	// Rounds bounds repeated application (a caller that absorbed its
+	// callees may itself become a leaf).
+	Rounds int
+}
+
+// DefaultOptions match the scale of the specialized accessor methods the
+// paper's benchmarks produce.
+var DefaultOptions = Options{MaxTinySize: 10, MaxSingleSize: 48, MaxCallerSize: 400, Rounds: 3}
+
+// Program inlines eligible call sites across the program and prunes
+// unreachable functions. It reports (sites inlined, functions removed).
+func Program(p *ir.Program, opts Options) (int, int) {
+	if opts.MaxTinySize == 0 {
+		opts = DefaultOptions
+	}
+	totalSites := 0
+	for round := 0; round < opts.Rounds; round++ {
+		sites := 0
+		counts := staticSiteCounts(p)
+		for _, fn := range p.Funcs {
+			sites += inlineInto(fn, opts, counts)
+		}
+		totalSites += sites
+		if sites == 0 {
+			break
+		}
+	}
+	removed := pruneUnreachable(p)
+	return totalSites, removed
+}
+
+// staticSiteCounts tallies, per function, how many static call sites
+// reference it (dispatch-table references count as "many": the out-of-line
+// copy cannot be dropped).
+func staticSiteCounts(p *ir.Program) map[*ir.Func]int {
+	counts := make(map[*ir.Func]int)
+	for _, fn := range p.Funcs {
+		fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpCall || in.Op == ir.OpCallStatic {
+				counts[in.Callee]++
+			}
+		})
+	}
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			counts[m] += 2 // dispatchable: never a single-site candidate
+		}
+	}
+	return counts
+}
+
+// isLeaf reports whether fn contains no calls (and so can be inlined
+// without recursion concerns).
+func isLeaf(fn *ir.Func) bool {
+	leaf := true
+	fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+		if in.IsCall() {
+			leaf = false
+		}
+	})
+	return leaf
+}
+
+// inlineInto splices eligible callees into fn, returning the number of
+// sites inlined.
+func inlineInto(fn *ir.Func, opts Options, counts map[*ir.Func]int) int {
+	sites := 0
+	for bi := 0; bi < len(fn.Blocks); bi++ {
+		if fn.CodeSize() > opts.MaxCallerSize {
+			break
+		}
+		b := fn.Blocks[bi]
+		for ii, in := range b.Instrs {
+			if in.Op != ir.OpCall && in.Op != ir.OpCallStatic {
+				continue
+			}
+			callee := in.Callee
+			if callee == fn || !isLeaf(callee) {
+				continue
+			}
+			size := callee.CodeSize()
+			if size > opts.MaxTinySize && !(counts[callee] == 1 && size <= opts.MaxSingleSize) {
+				continue
+			}
+			splice(fn, bi, ii, in, callee)
+			sites++
+			// The block was restructured; restart it.
+			bi--
+			break
+		}
+	}
+	fn.Renumber()
+	return sites
+}
+
+// splice replaces the call instruction fn.Blocks[bi].Instrs[ii] with the
+// callee's body.
+func splice(fn *ir.Func, bi, ii int, call *ir.Instr, callee *ir.Func) {
+	regOff := ir.Reg(fn.NumRegs)
+	fn.NumRegs += callee.NumRegs
+	blockOff := len(fn.Blocks)
+
+	b := fn.Blocks[bi]
+	pre := b.Instrs[:ii]
+	post := b.Instrs[ii+1:]
+
+	// Continuation block receives everything after the call.
+	cont := &ir.Block{ID: blockOff, Instrs: post}
+	fn.Blocks = append(fn.Blocks, cont)
+
+	// Copy callee blocks with remapped registers and block ids.
+	calleeOff := len(fn.Blocks)
+	for _, cb := range callee.Blocks {
+		nb := &ir.Block{ID: calleeOff + cb.ID}
+		for _, cin := range cb.Instrs {
+			ni := cin.Clone()
+			if ni.Dst != ir.NoReg {
+				ni.Dst += regOff
+			}
+			for i := range ni.Args {
+				ni.Args[i] += regOff
+			}
+			switch ni.Op {
+			case ir.OpJump:
+				ni.Target += calleeOff
+			case ir.OpBranch:
+				ni.Target += calleeOff
+				ni.Else += calleeOff
+			case ir.OpReturn:
+				// return v  =>  dst = move v; jump cont
+				ret := ni
+				if call.Dst != ir.NoReg && len(ret.Args) > 0 {
+					nb.Instrs = append(nb.Instrs, &ir.Instr{
+						Op: ir.OpMove, Dst: call.Dst, Args: []ir.Reg{ret.Args[0]}, Pos: ret.Pos,
+					})
+				}
+				nb.Instrs = append(nb.Instrs, &ir.Instr{Op: ir.OpJump, Dst: ir.NoReg, Target: cont.ID, Pos: ret.Pos})
+				continue
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+		fn.Blocks = append(fn.Blocks, nb)
+	}
+
+	// The original block now binds arguments and jumps to the callee
+	// entry.
+	entry := calleeOff // callee block 0
+	nb := append([]*ir.Instr{}, pre...)
+	for argIdx, argReg := range call.Args {
+		var param ir.Reg
+		if callee.Class != nil {
+			param = ir.Reg(argIdx) // self then params
+		} else {
+			param = ir.Reg(argIdx)
+		}
+		nb = append(nb, &ir.Instr{
+			Op: ir.OpMove, Dst: param + regOff, Args: []ir.Reg{argReg}, Pos: call.Pos,
+		})
+	}
+	nb = append(nb, &ir.Instr{Op: ir.OpJump, Dst: ir.NoReg, Target: entry, Pos: call.Pos})
+	b.Instrs = nb
+}
+
+// pruneUnreachable removes functions no call site or dispatch table can
+// reach.
+func pruneUnreachable(p *ir.Program) int {
+	keep := make(map[*ir.Func]bool)
+	var visit func(fn *ir.Func)
+
+	// Dynamic dispatch names used anywhere.
+	dispatched := make(map[string]bool)
+	for _, fn := range p.Funcs {
+		fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpCallMethod {
+				dispatched[in.Method] = true
+			}
+		})
+	}
+	visit = func(fn *ir.Func) {
+		if fn == nil || keep[fn] {
+			return
+		}
+		keep[fn] = true
+		fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpCall || in.Op == ir.OpCallStatic {
+				visit(in.Callee)
+			}
+		})
+	}
+	visit(p.Main)
+	if init := p.FuncNamed(lower.InitFuncName); init != nil {
+		visit(init)
+	}
+	// Methods reachable via dynamic dispatch: iterate because a method
+	// body can contain further dispatches.
+	for changed := true; changed; {
+		changed = false
+		// Recompute dispatched names over kept functions only.
+		for _, c := range p.Classes {
+			for name, m := range c.Methods {
+				if dispatched[name] && !keep[m] {
+					visit(m)
+					changed = true
+				}
+			}
+		}
+		if changed {
+			for fn := range keep {
+				fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
+					if in.Op == ir.OpCallMethod {
+						dispatched[in.Method] = true
+					}
+				})
+			}
+		}
+	}
+
+	var kept []*ir.Func
+	removed := 0
+	for _, fn := range p.Funcs {
+		if keep[fn] {
+			kept = append(kept, fn)
+		} else {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	p.Funcs = kept
+	// Scrub dropped methods from dispatch tables so LookupMethod cannot
+	// reach a deleted body (it would be a verifier error anyway).
+	for _, c := range p.Classes {
+		for name, m := range c.Methods {
+			if !keep[m] {
+				delete(c.Methods, name)
+			}
+		}
+	}
+	return removed
+}

@@ -1,0 +1,231 @@
+package funcinline_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/funcinline"
+	"objinline/internal/ir"
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+	"objinline/internal/lower"
+	"objinline/internal/vm"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	tree, err := parser.Parse("t.icc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *ir.Program) string {
+	t.Helper()
+	var out strings.Builder
+	if _, err := vm.New(p, vm.Options{Out: &out, MaxSteps: 5_000_000}).Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, p.String())
+	}
+	return out.String()
+}
+
+// inlinePreserves runs before/after and checks output identity; returns
+// (sites, removed).
+func inlinePreserves(t *testing.T, src string) (int, int) {
+	t.Helper()
+	p := build(t, src)
+	want := runProg(t, p)
+	sites, removed := funcinline.Program(p, funcinline.DefaultOptions)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, p.String())
+	}
+	if got := runProg(t, p); got != want {
+		t.Fatalf("output changed %q -> %q\n%s", want, got, p.String())
+	}
+	return sites, removed
+}
+
+func TestInlinesTinyLeaf(t *testing.T) {
+	sites, removed := inlinePreserves(t, `
+func double(x) { return x + x; }
+func main() {
+  print(double(3), double(4));
+}
+`)
+	if sites != 2 {
+		t.Errorf("sites = %d, want 2", sites)
+	}
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1 (double absorbed)", removed)
+	}
+}
+
+func TestSingleSiteLargerLeaf(t *testing.T) {
+	sites, removed := inlinePreserves(t, `
+func chunk(a, b, c) {
+  var x = a * 2;
+  var y = b * 3;
+  var z = c * 4;
+  var w = x + y;
+  var v = w + z;
+  var u = v - a;
+  var s = u + b;
+  return s + c;
+}
+func main() {
+  print(chunk(1, 2, 3));
+}
+`)
+	if sites != 1 || removed != 1 {
+		t.Errorf("sites=%d removed=%d, want 1/1 (single-site leaf)", sites, removed)
+	}
+}
+
+func TestDoesNotDuplicateLargeMultiSite(t *testing.T) {
+	p := build(t, `
+func chunk(a) {
+  var x = a * 2; var y = x * 3; var z = y + x;
+  var w = z - a; var v = w + 1; var u = v * v;
+  return u + x + y + z;
+}
+func main() {
+  print(chunk(1), chunk(2), chunk(3));
+}
+`)
+	before := p.CodeSize()
+	funcinline.Program(p, funcinline.DefaultOptions)
+	if p.CodeSize() > before {
+		t.Errorf("multi-site large leaf duplicated: %d -> %d", before, p.CodeSize())
+	}
+}
+
+func TestRecursionNotInlined(t *testing.T) {
+	sites, _ := inlinePreserves(t, `
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(10)); }
+`)
+	if sites != 0 {
+		t.Errorf("recursive function inlined %d times", sites)
+	}
+}
+
+func TestMethodsInlineThroughStaticCalls(t *testing.T) {
+	// A devirtualized accessor (OpCallStatic after lowering constructs)
+	// inlines; its dispatch-table entry is respected.
+	src := `
+class P {
+  x;
+  def init(x) { self.x = x; }
+}
+func main() {
+  var p = new P(7);
+  print(p.x);
+}
+`
+	p := build(t, src)
+	want := runProg(t, p)
+	sites, _ := funcinline.Program(p, funcinline.DefaultOptions)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := runProg(t, p); got != want {
+		t.Fatalf("output changed: %q", got)
+	}
+	if sites == 0 {
+		t.Error("constructor (static leaf call) not inlined")
+	}
+}
+
+func TestDynamicDispatchTargetsKept(t *testing.T) {
+	// Methods reachable only through dynamic dispatch must survive
+	// pruning even when never statically called.
+	src := `
+class A { def m() { return 1; } }
+class B { def m() { return 2; } }
+func pick(o) { return o.m(); }
+func main() { print(pick(new A()) + pick(new B())); }
+`
+	p := build(t, src)
+	want := runProg(t, p)
+	funcinline.Program(p, funcinline.DefaultOptions)
+	if got := runProg(t, p); got != want {
+		t.Fatalf("dispatch broke: %q != %q", got, want)
+	}
+}
+
+func TestControlFlowInCalleePreserved(t *testing.T) {
+	inlinePreserves(t, `
+func absi(x) {
+  if (x < 0) { return -x; }
+  return x;
+}
+func main() { print(absi(-5), absi(5), absi(0)); }
+`)
+}
+
+func TestVoidResultCalls(t *testing.T) {
+	inlinePreserves(t, `
+var log = 0;
+func note(v) { log = log + v; }
+func main() {
+  note(3);
+  note(4);
+  print(log);
+}
+`)
+}
+
+func TestDeadFunctionsPruned(t *testing.T) {
+	p := build(t, `
+func neverCalled(x) { return x; }
+func alsoDead() { return neverCalled(1); }
+func main() { print("live"); }
+`)
+	_, removed := funcinline.Program(p, funcinline.DefaultOptions)
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	if p.FuncNamed("neverCalled") != nil || p.FuncNamed("alsoDead") != nil {
+		t.Error("dead functions still present")
+	}
+}
+
+func TestGlobalInitKept(t *testing.T) {
+	p := build(t, `
+var g = 41;
+func main() { print(g + 1); }
+`)
+	funcinline.Program(p, funcinline.DefaultOptions)
+	out := runProg(t, p)
+	if out != "42\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestNestedLeafRoundsConverge(t *testing.T) {
+	// inner inlines into mid (round 1), making mid a leaf that inlines
+	// into main (round 2).
+	sites, removed := inlinePreserves(t, `
+func inner(x) { return x + 1; }
+func mid(x) { return inner(x) * 2; }
+func main() { print(mid(5)); }
+`)
+	if sites < 2 {
+		t.Errorf("sites = %d, want >= 2 (two rounds)", sites)
+	}
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+}

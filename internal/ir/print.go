@@ -1,0 +1,144 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the whole program for debugging and golden tests.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		b.WriteString(c.LayoutString())
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// LayoutString renders a class's slot layout.
+func (c *Class) LayoutString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s", c.Name)
+	if c.Super != nil {
+		fmt.Fprintf(&b, " : %s", c.Super.Name)
+	}
+	b.WriteString(" {")
+	for _, f := range c.Fields {
+		fmt.Fprintf(&b, " %s@%d", f.Name, f.Slot)
+	}
+	b.WriteString(" }\n")
+	names := make([]string, 0, len(c.Methods))
+	for n := range c.Methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(&b, "  methods: %s\n", strings.Join(names, ", "))
+	}
+	return b.String()
+}
+
+// String renders the function body.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(params=%d regs=%d) {\n", f.FullName(), f.NumParams, f.NumRegs)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, " b%d:\n", blk.ID)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "   %s\n", in.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func regString(r Reg) string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, "%s = ", regString(in.Dst))
+	}
+	args := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = regString(a)
+	}
+	switch in.Op {
+	case OpConstInt:
+		fmt.Fprintf(&b, "const %d", in.Aux)
+	case OpConstFloat:
+		fmt.Fprintf(&b, "const %g", in.F)
+	case OpConstStr:
+		fmt.Fprintf(&b, "const %q", in.S)
+	case OpConstBool:
+		fmt.Fprintf(&b, "const %v", in.Aux != 0)
+	case OpConstNil:
+		b.WriteString("const nil")
+	case OpMove:
+		fmt.Fprintf(&b, "move %s", args[0])
+	case OpBin:
+		fmt.Fprintf(&b, "%s %s %s", args[0], BinOp(in.Aux), args[1])
+	case OpUn:
+		if UnOp(in.Aux) == UnNeg {
+			fmt.Fprintf(&b, "neg %s", args[0])
+		} else {
+			fmt.Fprintf(&b, "not %s", args[0])
+		}
+	case OpNewObject:
+		fmt.Fprintf(&b, "new %s", in.Class.Name)
+	case OpNewArray:
+		fmt.Fprintf(&b, "newarray %s", args[0])
+	case OpGetField:
+		fmt.Fprintf(&b, "%s.%s[slot %d]", args[0], in.Field.Name, in.Field.Slot)
+	case OpSetField:
+		fmt.Fprintf(&b, "%s.%s[slot %d] = %s", args[0], in.Field.Name, in.Field.Slot, args[1])
+	case OpArrGet:
+		fmt.Fprintf(&b, "%s[%s]", args[0], args[1])
+	case OpArrSet:
+		fmt.Fprintf(&b, "%s[%s] = %s", args[0], args[1], args[2])
+	case OpCall:
+		fmt.Fprintf(&b, "call %s(%s)", in.Callee.FullName(), strings.Join(args, ", "))
+	case OpCallMethod:
+		fmt.Fprintf(&b, "dispatch %s.%s(%s)", args[0], in.Method, strings.Join(args[1:], ", "))
+	case OpCallStatic:
+		fmt.Fprintf(&b, "callstatic %s(%s)", in.Callee.FullName(), strings.Join(args, ", "))
+	case OpGetGlobal:
+		fmt.Fprintf(&b, "global[%d]", in.Global)
+	case OpSetGlobal:
+		fmt.Fprintf(&b, "global[%d] = %s", in.Global, args[0])
+	case OpBuiltin:
+		fmt.Fprintf(&b, "%s(%s)", Builtin(in.Aux), strings.Join(args, ", "))
+	case OpJump:
+		fmt.Fprintf(&b, "jump b%d", in.Target)
+	case OpBranch:
+		fmt.Fprintf(&b, "branch %s b%d b%d", args[0], in.Target, in.Else)
+	case OpReturn:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&b, "return %s", args[0])
+		} else {
+			b.WriteString("return")
+		}
+	case OpTrap:
+		fmt.Fprintf(&b, "trap %q", in.S)
+	case OpNewArrayInl:
+		layout := "obj"
+		if in.Aux == 1 {
+			layout = "par"
+		}
+		fmt.Fprintf(&b, "newarray.inl[%s] %s of %s", layout, args[0], in.Class.Name)
+	case OpArrInterior:
+		fmt.Fprintf(&b, "&%s[%s]", args[0], args[1])
+	default:
+		fmt.Fprintf(&b, "?op%d", in.Op)
+	}
+	return b.String()
+}

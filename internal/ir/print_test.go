@@ -1,0 +1,88 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/ir"
+)
+
+// TestInstrStringAllOps renders every op form once, pinning the printer's
+// coverage (the dumps are a primary debugging tool).
+func TestInstrStringAllOps(t *testing.T) {
+	cls := &ir.Class{Name: "K", Methods: map[string]*ir.Func{}}
+	cls.Fields = []*ir.Field{{Name: "f", Slot: 0, Owner: cls}}
+	callee := &ir.Func{Name: "g"}
+	method := &ir.Func{Name: "m", Class: cls}
+
+	cases := []struct {
+		in   *ir.Instr
+		want string
+	}{
+		{&ir.Instr{Op: ir.OpConstInt, Dst: 0, Aux: 5}, "r0 = const 5"},
+		{&ir.Instr{Op: ir.OpConstFloat, Dst: 0, F: 2.5}, "r0 = const 2.5"},
+		{&ir.Instr{Op: ir.OpConstStr, Dst: 0, S: "hi"}, `r0 = const "hi"`},
+		{&ir.Instr{Op: ir.OpConstBool, Dst: 0, Aux: 1}, "r0 = const true"},
+		{&ir.Instr{Op: ir.OpConstNil, Dst: 0}, "r0 = const nil"},
+		{&ir.Instr{Op: ir.OpMove, Dst: 1, Args: []ir.Reg{0}}, "r1 = move r0"},
+		{&ir.Instr{Op: ir.OpBin, Dst: 2, Args: []ir.Reg{0, 1}, Aux: int64(ir.BinMul)}, "r2 = r0 * r1"},
+		{&ir.Instr{Op: ir.OpUn, Dst: 1, Args: []ir.Reg{0}, Aux: int64(ir.UnNeg)}, "r1 = neg r0"},
+		{&ir.Instr{Op: ir.OpUn, Dst: 1, Args: []ir.Reg{0}, Aux: int64(ir.UnNot)}, "r1 = not r0"},
+		{&ir.Instr{Op: ir.OpNewObject, Dst: 0, Class: cls}, "r0 = new K"},
+		{&ir.Instr{Op: ir.OpNewArray, Dst: 1, Args: []ir.Reg{0}}, "r1 = newarray r0"},
+		{&ir.Instr{Op: ir.OpGetField, Dst: 1, Args: []ir.Reg{0}, Field: cls.Fields[0]}, "r1 = r0.f[slot 0]"},
+		{&ir.Instr{Op: ir.OpSetField, Dst: ir.NoReg, Args: []ir.Reg{0, 1}, Field: cls.Fields[0]}, "r0.f[slot 0] = r1"},
+		{&ir.Instr{Op: ir.OpArrGet, Dst: 2, Args: []ir.Reg{0, 1}}, "r2 = r0[r1]"},
+		{&ir.Instr{Op: ir.OpArrSet, Dst: ir.NoReg, Args: []ir.Reg{0, 1, 2}}, "r0[r1] = r2"},
+		{&ir.Instr{Op: ir.OpCall, Dst: 0, Args: []ir.Reg{1}, Callee: callee}, "r0 = call g(r1)"},
+		{&ir.Instr{Op: ir.OpCallMethod, Dst: 0, Args: []ir.Reg{1, 2}, Method: "m"}, "r0 = dispatch r1.m(r2)"},
+		{&ir.Instr{Op: ir.OpCallStatic, Dst: 0, Args: []ir.Reg{1}, Callee: method}, "r0 = callstatic K::m(r1)"},
+		{&ir.Instr{Op: ir.OpGetGlobal, Dst: 0, Global: 2}, "r0 = global[2]"},
+		{&ir.Instr{Op: ir.OpSetGlobal, Dst: ir.NoReg, Args: []ir.Reg{0}, Global: 2}, "global[2] = r0"},
+		{&ir.Instr{Op: ir.OpBuiltin, Dst: 0, Args: []ir.Reg{1}, Aux: int64(ir.BSqrt)}, "r0 = sqrt(r1)"},
+		{&ir.Instr{Op: ir.OpJump, Dst: ir.NoReg, Target: 3}, "jump b3"},
+		{&ir.Instr{Op: ir.OpBranch, Dst: ir.NoReg, Args: []ir.Reg{0}, Target: 1, Else: 2}, "branch r0 b1 b2"},
+		{&ir.Instr{Op: ir.OpReturn, Dst: ir.NoReg, Args: []ir.Reg{0}}, "return r0"},
+		{&ir.Instr{Op: ir.OpReturn, Dst: ir.NoReg}, "return"},
+		{&ir.Instr{Op: ir.OpTrap, Dst: ir.NoReg, S: "boom"}, `trap "boom"`},
+		{&ir.Instr{Op: ir.OpNewArrayInl, Dst: 1, Args: []ir.Reg{0}, Class: cls}, "r1 = newarray.inl[obj] r0 of K"},
+		{&ir.Instr{Op: ir.OpNewArrayInl, Dst: 1, Args: []ir.Reg{0}, Class: cls, Aux: 1}, "r1 = newarray.inl[par] r0 of K"},
+		{&ir.Instr{Op: ir.OpArrInterior, Dst: 2, Args: []ir.Reg{0, 1}}, "r2 = &r0[r1]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	// Every op must have a distinct printable name.
+	seen := map[string]bool{}
+	for op := ir.OpConstInt; op <= ir.OpArrInterior; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "token") {
+			t.Errorf("op %d has bad name %q", op, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate op name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestBinOpNames(t *testing.T) {
+	want := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">="}
+	for i, w := range want {
+		if ir.BinOp(i).String() != w {
+			t.Errorf("BinOp(%d) = %q, want %q", i, ir.BinOp(i).String(), w)
+		}
+	}
+}
+
+func TestNoRegPrintsUnderscore(t *testing.T) {
+	in := &ir.Instr{Op: ir.OpBuiltin, Dst: 0, Args: []ir.Reg{1}, Aux: int64(ir.BPrint)}
+	if got := in.String(); got != "r0 = print(r1)" {
+		t.Errorf("print instr = %q", got)
+	}
+}

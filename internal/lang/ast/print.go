@@ -1,0 +1,181 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to (normalized) Mini-ICC source. The output
+// re-parses to an equivalent tree, which the parser tests exploit.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		b.WriteString("var " + g.Name)
+		if g.Init != nil {
+			b.WriteString(" = " + ExprString(g.Init))
+		}
+		b.WriteString(";\n")
+	}
+	for _, c := range p.Classes {
+		b.WriteString("class " + c.Name)
+		if c.Super != "" {
+			b.WriteString(" : " + c.Super)
+		}
+		b.WriteString(" {\n")
+		for _, f := range c.Fields {
+			b.WriteString("  " + f.Name + ";\n")
+		}
+		for _, m := range c.Methods {
+			printFunc(&b, "def", m, "  ")
+		}
+		b.WriteString("}\n")
+	}
+	for _, f := range p.Funcs {
+		printFunc(&b, "func", f, "")
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, kw string, f *FuncDecl, indent string) {
+	names := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		names[i] = p.Name
+	}
+	fmt.Fprintf(b, "%s%s %s(%s) ", indent, kw, f.Name, strings.Join(names, ", "))
+	printBlock(b, f.Body, indent)
+	b.WriteString("\n")
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, indent string) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, indent+"  ")
+	}
+	b.WriteString(indent + "}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent string) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		b.WriteString(indent)
+		printBlock(b, s, indent)
+		b.WriteString("\n")
+	case *VarStmt:
+		b.WriteString(indent + "var " + s.Name)
+		if s.Init != nil {
+			b.WriteString(" = " + ExprString(s.Init))
+		}
+		b.WriteString(";\n")
+	case *AssignStmt:
+		b.WriteString(indent + ExprString(s.Target) + " = " + ExprString(s.Value) + ";\n")
+	case *ExprStmt:
+		b.WriteString(indent + ExprString(s.X) + ";\n")
+	case *IfStmt:
+		b.WriteString(indent + "if (" + ExprString(s.Cond) + ") ")
+		printBlock(b, s.Then, indent)
+		switch e := s.Else.(type) {
+		case nil:
+			b.WriteString("\n")
+		case *BlockStmt:
+			b.WriteString(" else ")
+			printBlock(b, e, indent)
+			b.WriteString("\n")
+		case *IfStmt:
+			b.WriteString(" else ")
+			// Flatten "else if" onto one logical line.
+			var inner strings.Builder
+			printStmt(&inner, e, indent)
+			b.WriteString(strings.TrimPrefix(inner.String(), indent))
+		}
+	case *WhileStmt:
+		b.WriteString(indent + "while (" + ExprString(s.Cond) + ") ")
+		printBlock(b, s.Body, indent)
+		b.WriteString("\n")
+	case *ForStmt:
+		b.WriteString(indent + "for (")
+		if s.Init != nil {
+			var tmp strings.Builder
+			printStmt(&tmp, s.Init, "")
+			b.WriteString(strings.TrimSuffix(strings.TrimSpace(tmp.String()), ";"))
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(ExprString(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			var tmp strings.Builder
+			printStmt(&tmp, s.Post, "")
+			b.WriteString(strings.TrimSuffix(strings.TrimSpace(tmp.String()), ";"))
+		}
+		b.WriteString(") ")
+		printBlock(b, s.Body, indent)
+		b.WriteString("\n")
+	case *ReturnStmt:
+		b.WriteString(indent + "return")
+		if s.Value != nil {
+			b.WriteString(" " + ExprString(s.Value))
+		}
+		b.WriteString(";\n")
+	case *BreakStmt:
+		b.WriteString(indent + "break;\n")
+	case *ContinueStmt:
+		b.WriteString(indent + "continue;\n")
+	default:
+		panic(fmt.Sprintf("ast: unknown statement %T", s))
+	}
+}
+
+// ExprString renders an expression with full parenthesization of nested
+// binary operations, so the output is unambiguous.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", e.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *StringLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *NilLit:
+		return "nil"
+	case *SelfExpr:
+		return "self"
+	case *Ident:
+		return e.Name
+	case *BinaryExpr:
+		return "(" + ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y) + ")"
+	case *UnaryExpr:
+		return "(" + e.Op.String() + ExprString(e.X) + ")"
+	case *CallExpr:
+		return e.Name + "(" + argList(e.Args) + ")"
+	case *MethodCallExpr:
+		return ExprString(e.Recv) + "." + e.Method + "(" + argList(e.Args) + ")"
+	case *FieldExpr:
+		return ExprString(e.Recv) + "." + e.Name
+	case *IndexExpr:
+		return ExprString(e.Arr) + "[" + ExprString(e.Index) + "]"
+	case *NewExpr:
+		return "new " + e.Class + "(" + argList(e.Args) + ")"
+	case *NewArrayExpr:
+		return "new [" + ExprString(e.Len) + "]"
+	default:
+		panic(fmt.Sprintf("ast: unknown expression %T", e))
+	}
+}
+
+func argList(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = ExprString(a)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,179 @@
+package lexer_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/lang/lexer"
+	"objinline/internal/lang/source"
+	"objinline/internal/lang/token"
+)
+
+func lex(t *testing.T, src string) ([]token.Token, *source.ErrorList) {
+	t.Helper()
+	var errs source.ErrorList
+	l := lexer.New("t.icc", src, &errs)
+	return l.All(), &errs
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, errs := lex(t, src)
+	if errs.Len() > 0 {
+		t.Fatalf("lex %q: %v", src, errs.Err())
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("lex %q: got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("lex %q: token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / %", token.Plus, token.Minus, token.Star, token.Slash, token.Percent)
+	expectKinds(t, "== != < <= > >=", token.Eq, token.NotEq, token.Lt, token.LtEq, token.Gt, token.GtEq)
+	expectKinds(t, "&& || !", token.AndAnd, token.OrOr, token.Not)
+	expectKinds(t, "= ; , . : ( ) { } [ ]",
+		token.Assign, token.Semicolon, token.Comma, token.Dot, token.Colon,
+		token.LParen, token.RParen, token.LBrace, token.RBrace, token.LBrack, token.RBrack)
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	expectKinds(t, "class def func var if else while for",
+		token.KwClass, token.KwDef, token.KwFunc, token.KwVar,
+		token.KwIf, token.KwElse, token.KwWhile, token.KwFor)
+	expectKinds(t, "return break continue new self true false nil",
+		token.KwReturn, token.KwBreak, token.KwContinue, token.KwNew,
+		token.KwSelf, token.KwTrue, token.KwFalse, token.KwNil)
+	expectKinds(t, "classy deffo newish selfish", token.Ident, token.Ident, token.Ident, token.Ident)
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"0", token.Int, "0"},
+		{"12345", token.Int, "12345"},
+		{"1.5", token.Float, "1.5"},
+		{"0.25", token.Float, "0.25"},
+		{"1e3", token.Float, "1e3"},
+		{"2.5e-2", token.Float, "2.5e-2"},
+		{"7E+4", token.Float, "7E+4"},
+	}
+	for _, c := range cases {
+		toks, errs := lex(t, c.src)
+		if errs.Len() > 0 {
+			t.Errorf("%q: %v", c.src, errs.Err())
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Lit != c.lit {
+			t.Errorf("%q -> %v %q, want %v %q", c.src, toks[0].Kind, toks[0].Lit, c.kind, c.lit)
+		}
+	}
+}
+
+func TestIntDotDigitLexesAsFloat(t *testing.T) {
+	expectKinds(t, "1.5", token.Float)
+	// But "2.foo()" must lex as Int Dot Ident LParen RParen (method call
+	// on an integer literal).
+	expectKinds(t, "2.foo()", token.Int, token.Dot, token.Ident, token.LParen, token.RParen)
+}
+
+func TestENotFollowedByDigitIsIdentBoundary(t *testing.T) {
+	// "1e" is int 1 followed by identifier e.
+	expectKinds(t, "1e", token.Int, token.Ident)
+	expectKinds(t, "1e+", token.Int, token.Ident, token.Plus)
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := lex(t, `"hello" "a\nb" "q\"q" "t\tt" "s\\s"`)
+	if errs.Len() > 0 {
+		t.Fatal(errs.Err())
+	}
+	want := []string{"hello", "a\nb", `q"q`, "t\tt", `s\s`}
+	for i, w := range want {
+		if toks[i].Kind != token.String || toks[i].Lit != w {
+			t.Errorf("string %d = %v %q, want %q", i, toks[i].Kind, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb", token.Ident, token.Ident)
+	expectKinds(t, "a /* block\n comment */ b", token.Ident, token.Ident)
+	expectKinds(t, "a /* nested * slash / inside */ b", token.Ident, token.Ident)
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := lex(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{"\"newline\nin\"", "newline in string"},
+		{`"bad \q escape"`, "unknown escape"},
+		{"/* never closed", "unterminated block comment"},
+		{"@", "unexpected character"},
+		{"#", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, errs := lex(t, c.src)
+		if errs.Len() == 0 {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(errs.Err().Error(), c.frag) {
+			t.Errorf("%q: error %q does not mention %q", c.src, errs.Err(), c.frag)
+		}
+	}
+}
+
+func TestSingleAmpersandAndPipeAreErrors(t *testing.T) {
+	_, errs := lex(t, "a & b")
+	if errs.Len() == 0 {
+		t.Error("single & should be an error")
+	}
+	_, errs2 := lex(t, "a | b")
+	if errs2.Len() == 0 {
+		t.Error("single | should be an error")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	var errs source.ErrorList
+	l := lexer.New("t.icc", "x", &errs)
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("Next after EOF = %v", tk)
+		}
+	}
+}
+
+func TestWhitespaceOnly(t *testing.T) {
+	expectKinds(t, "  \t\r\n  ")
+}

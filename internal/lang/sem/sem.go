@@ -1,0 +1,147 @@
+// Package sem performs program-level semantic analysis on a Mini-ICC
+// syntax tree: it builds the class hierarchy, checks for duplicate and
+// missing declarations, and rejects inheritance cycles. The lowering pass
+// consumes its Info.
+package sem
+
+import (
+	"objinline/internal/ir"
+	"objinline/internal/lang/ast"
+	"objinline/internal/lang/source"
+)
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Program *ast.Program
+	Classes map[string]*ast.ClassDecl
+	Funcs   map[string]*ast.FuncDecl
+	Globals []string
+	// Order lists class names in a topological order (superclasses first),
+	// which lowering uses to build layouts.
+	Order []string
+}
+
+// Check analyzes prog and returns the program-level tables.
+func Check(prog *ast.Program) (*Info, error) {
+	var errs source.ErrorList
+	info := &Info{
+		Program: prog,
+		Classes: make(map[string]*ast.ClassDecl),
+		Funcs:   make(map[string]*ast.FuncDecl),
+	}
+
+	for _, c := range prog.Classes {
+		if _, dup := info.Classes[c.Name]; dup {
+			errs.Add(c.Pos(), "class %s redeclared", c.Name)
+			continue
+		}
+		info.Classes[c.Name] = c
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := info.Funcs[f.Name]; dup {
+			errs.Add(f.Pos(), "function %s redeclared", f.Name)
+			continue
+		}
+		if _, isBuiltin := ir.BuiltinByName(f.Name); isBuiltin {
+			errs.Add(f.Pos(), "function %s shadows a builtin", f.Name)
+			continue
+		}
+		info.Funcs[f.Name] = f
+	}
+	seenGlobal := make(map[string]bool)
+	for _, g := range prog.Globals {
+		if seenGlobal[g.Name] {
+			errs.Add(g.Pos(), "global %s redeclared", g.Name)
+			continue
+		}
+		seenGlobal[g.Name] = true
+		info.Globals = append(info.Globals, g.Name)
+	}
+
+	// Superclass resolution and cycle detection.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var visit func(name string) bool
+	visit = func(name string) bool {
+		switch state[name] {
+		case done:
+			return true
+		case visiting:
+			errs.Add(info.Classes[name].Pos(), "inheritance cycle through class %s", name)
+			state[name] = done
+			return false
+		}
+		state[name] = visiting
+		c := info.Classes[name]
+		ok := true
+		if c.Super != "" {
+			super, exists := info.Classes[c.Super]
+			if !exists {
+				errs.Add(c.Pos(), "class %s extends unknown class %s", c.Name, c.Super)
+				ok = false
+			} else {
+				ok = visit(super.Name)
+			}
+		}
+		state[name] = done
+		if ok {
+			info.Order = append(info.Order, name)
+		}
+		return ok
+	}
+	for _, c := range prog.Classes {
+		if _, claimed := info.Classes[c.Name]; claimed && info.Classes[c.Name] == c {
+			visit(c.Name)
+		}
+	}
+
+	// Per-class member checks: duplicate fields (including inherited ones),
+	// duplicate methods within a class.
+	for _, name := range info.Order {
+		c := info.Classes[name]
+		inherited := make(map[string]bool)
+		for s := c.Super; s != ""; {
+			sc := info.Classes[s]
+			if sc == nil {
+				break
+			}
+			for _, f := range sc.Fields {
+				inherited[f.Name] = true
+			}
+			s = sc.Super
+		}
+		ownFields := make(map[string]bool)
+		for _, f := range c.Fields {
+			if ownFields[f.Name] {
+				errs.Add(f.Pos(), "field %s redeclared in class %s", f.Name, c.Name)
+			}
+			if inherited[f.Name] {
+				errs.Add(f.Pos(), "field %s in class %s shadows an inherited field", f.Name, c.Name)
+			}
+			ownFields[f.Name] = true
+		}
+		methods := make(map[string]bool)
+		for _, m := range c.Methods {
+			if methods[m.Name] {
+				errs.Add(m.Pos(), "method %s redeclared in class %s", m.Name, c.Name)
+			}
+			methods[m.Name] = true
+		}
+	}
+
+	// Every program needs an entry point.
+	if _, ok := info.Funcs["main"]; !ok {
+		errs.Add(prog.Pos(), "program has no main function")
+	} else if len(info.Funcs["main"].Params) != 0 {
+		errs.Add(info.Funcs["main"].Pos(), "main must take no parameters")
+	}
+
+	// Structural statement checks (break/continue placement, self usage,
+	// duplicate params/locals, unknown names) are performed during
+	// lowering, which has the necessary scope information.
+	return info, errs.Err()
+}

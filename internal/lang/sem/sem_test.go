@@ -1,0 +1,110 @@
+package sem_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+)
+
+func check(t *testing.T, src string) (*sem.Info, error) {
+	t.Helper()
+	prog, err := parser.Parse("t.icc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sem.Check(prog)
+}
+
+func wantErr(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error mentioning %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func TestValidProgram(t *testing.T) {
+	info, err := check(t, `
+var g = 1;
+class A { x; def m() { return self.x; } }
+class B : A { y; }
+func helper(a) { return a; }
+func main() { helper(new B()); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Classes) != 2 || len(info.Funcs) != 2 || len(info.Globals) != 1 {
+		t.Errorf("info: %d classes, %d funcs, %d globals", len(info.Classes), len(info.Funcs), len(info.Globals))
+	}
+	// Topological order: A before B.
+	ia, ib := -1, -1
+	for i, n := range info.Order {
+		switch n {
+		case "A":
+			ia = i
+		case "B":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("order = %v", info.Order)
+	}
+}
+
+func TestDuplicateDeclarations(t *testing.T) {
+	wantErr(t, `class A { } class A { } func main() { }`, "class A redeclared")
+	wantErr(t, `func f() { } func f() { } func main() { }`, "function f redeclared")
+	wantErr(t, `var g; var g; func main() { }`, "global g redeclared")
+	wantErr(t, `class A { x; x; } func main() { }`, "field x redeclared")
+	wantErr(t, `class A { def m() { } def m() { } } func main() { }`, "method m redeclared")
+}
+
+func TestInheritanceChecks(t *testing.T) {
+	wantErr(t, `class A : Nope { } func main() { }`, "unknown class Nope")
+	wantErr(t, `class A : B { } class B : A { } func main() { }`, "inheritance cycle")
+	wantErr(t, `class A : A { } func main() { }`, "inheritance cycle")
+	wantErr(t, `class A { x; } class B : A { x; } func main() { }`, "shadows an inherited field")
+}
+
+func TestMainRequired(t *testing.T) {
+	wantErr(t, `func notmain() { }`, "no main function")
+	wantErr(t, `func main(x) { }`, "main must take no parameters")
+}
+
+func TestBuiltinShadowing(t *testing.T) {
+	wantErr(t, `func sqrt(x) { return x; } func main() { }`, "shadows a builtin")
+	wantErr(t, `func print() { } func main() { }`, "shadows a builtin")
+}
+
+func TestMethodOverrideAllowed(t *testing.T) {
+	_, err := check(t, `
+class A { def m() { return 1; } }
+class B : A { def m() { return 2; } }
+func main() { }
+`)
+	if err != nil {
+		t.Fatalf("override rejected: %v", err)
+	}
+}
+
+func TestDeepHierarchy(t *testing.T) {
+	info, err := check(t, `
+class A { a; }
+class B : A { b; }
+class C : B { c; }
+class D : C { d; }
+func main() { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Order) != 4 || info.Order[0] != "A" || info.Order[3] != "D" {
+		t.Errorf("order = %v", info.Order)
+	}
+}

@@ -1,0 +1,121 @@
+// Package source provides source positions and diagnostics shared by the
+// Mini-ICC front end.
+//
+// Mini-ICC is the uniform-object-model language this repository uses in
+// place of ICC++ (see DESIGN.md §2): every object is accessed through a
+// reference and every method call is conceptually a dynamic dispatch, which
+// is exactly the model the object-inlining optimization targets.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position within a named source file. Line and Col are 1-based;
+// the zero Pos means "no position".
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:col, omitting missing parts.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Before reports whether p occurs before q in the same file. Positions in
+// different files are ordered by file name so sorting is deterministic.
+func (p Pos) Before(q Pos) bool {
+	if p.File != q.File {
+		return p.File < q.File
+	}
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Error is a single diagnostic attached to a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return e.Pos.String() + ": " + e.Msg
+	}
+	return e.Msg
+}
+
+// Errorf constructs a positioned diagnostic.
+func Errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrorList accumulates diagnostics. The zero value is ready to use.
+type ErrorList struct {
+	list []*Error
+}
+
+// Add appends a diagnostic.
+func (l *ErrorList) Add(pos Pos, format string, args ...any) {
+	l.list = append(l.list, Errorf(pos, format, args...))
+}
+
+// Len reports the number of accumulated diagnostics.
+func (l *ErrorList) Len() int { return len(l.list) }
+
+// Sort orders diagnostics by source position.
+func (l *ErrorList) Sort() {
+	sort.SliceStable(l.list, func(i, j int) bool {
+		return l.list[i].Pos.Before(l.list[j].Pos)
+	})
+}
+
+// Err returns the list as an error, or nil if it is empty.
+func (l *ErrorList) Err() error {
+	if len(l.list) == 0 {
+		return nil
+	}
+	l.Sort()
+	return l
+}
+
+// All returns the accumulated diagnostics in order.
+func (l *ErrorList) All() []*Error {
+	l.Sort()
+	return l.list
+}
+
+// Error implements the error interface, joining at most ten diagnostics.
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l.list {
+		if i == 10 {
+			fmt.Fprintf(&b, "... and %d more errors", len(l.list)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	if b.Len() == 0 {
+		return "no errors"
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/lang/source"
+)
+
+func TestPosString(t *testing.T) {
+	cases := []struct {
+		pos  source.Pos
+		want string
+	}{
+		{source.Pos{}, "-"},
+		{source.Pos{Line: 3, Col: 7}, "3:7"},
+		{source.Pos{File: "a.icc", Line: 1, Col: 2}, "a.icc:1:2"},
+	}
+	for _, c := range cases {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	a := source.Pos{File: "a", Line: 1, Col: 1}
+	b := source.Pos{File: "a", Line: 1, Col: 5}
+	c := source.Pos{File: "a", Line: 2, Col: 1}
+	d := source.Pos{File: "b", Line: 1, Col: 1}
+	for _, pair := range [][2]source.Pos{{a, b}, {b, c}, {c, d}} {
+		if !pair[0].Before(pair[1]) || pair[1].Before(pair[0]) {
+			t.Errorf("ordering broken for %v, %v", pair[0], pair[1])
+		}
+	}
+	if a.Before(a) {
+		t.Error("Before not strict")
+	}
+}
+
+func TestErrorListSortsAndJoins(t *testing.T) {
+	var l source.ErrorList
+	l.Add(source.Pos{File: "f", Line: 9, Col: 1}, "later")
+	l.Add(source.Pos{File: "f", Line: 2, Col: 1}, "earlier %d", 42)
+	err := l.Err()
+	if err == nil {
+		t.Fatal("Err() == nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "earlier 42") || !strings.Contains(msg, "later") {
+		t.Fatalf("message %q", msg)
+	}
+	if strings.Index(msg, "earlier") > strings.Index(msg, "later") {
+		t.Errorf("errors not sorted by position: %q", msg)
+	}
+	all := l.All()
+	if len(all) != 2 || all[0].Pos.Line != 2 {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestErrorListEmpty(t *testing.T) {
+	var l source.ErrorList
+	if l.Err() != nil || l.Len() != 0 {
+		t.Error("empty list is not nil error")
+	}
+}
+
+func TestErrorListTruncation(t *testing.T) {
+	var l source.ErrorList
+	for i := 0; i < 15; i++ {
+		l.Add(source.Pos{Line: i + 1, Col: 1}, "e%d", i)
+	}
+	msg := l.Err().Error()
+	if !strings.Contains(msg, "and 5 more errors") {
+		t.Errorf("truncation marker missing: %q", msg)
+	}
+}
+
+func TestErrorfFormats(t *testing.T) {
+	e := source.Errorf(source.Pos{File: "x", Line: 1, Col: 1}, "boom %s", "now")
+	if e.Error() != "x:1:1: boom now" {
+		t.Errorf("Errorf = %q", e.Error())
+	}
+	e2 := source.Errorf(source.Pos{}, "global problem")
+	if e2.Error() != "global problem" {
+		t.Errorf("unpositioned = %q", e2.Error())
+	}
+}

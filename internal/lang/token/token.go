@@ -1,0 +1,162 @@
+// Package token defines the lexical tokens of Mini-ICC.
+package token
+
+import "objinline/internal/lang/source"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keyword kinds sit between keywordBeg and keywordEnd.
+const (
+	Illegal Kind = iota
+	EOF
+
+	Ident  // x, Rectangle
+	Int    // 123
+	Float  // 1.5
+	String // "abc"
+
+	// Operators and delimiters.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+
+	Eq     // ==
+	NotEq  // !=
+	Lt     // <
+	LtEq   // <=
+	Gt     // >
+	GtEq   // >=
+	AndAnd // &&
+	OrOr   // ||
+	Not    // !
+
+	Assign    // =
+	Semicolon // ;
+	Comma     // ,
+	Dot       // .
+	Colon     // :
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBrack    // [
+	RBrack    // ]
+
+	keywordBeg
+	KwClass    // class
+	KwDef      // def
+	KwFunc     // func
+	KwVar      // var
+	KwIf       // if
+	KwElse     // else
+	KwWhile    // while
+	KwFor      // for
+	KwReturn   // return
+	KwBreak    // break
+	KwContinue // continue
+	KwNew      // new
+	KwSelf     // self
+	KwTrue     // true
+	KwFalse    // false
+	KwNil      // nil
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	Illegal:    "ILLEGAL",
+	EOF:        "EOF",
+	Ident:      "IDENT",
+	Int:        "INT",
+	Float:      "FLOAT",
+	String:     "STRING",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Eq:         "==",
+	NotEq:      "!=",
+	Lt:         "<",
+	LtEq:       "<=",
+	Gt:         ">",
+	GtEq:       ">=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Not:        "!",
+	Assign:     "=",
+	Semicolon:  ";",
+	Comma:      ",",
+	Dot:        ".",
+	Colon:      ":",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBrack:     "[",
+	RBrack:     "]",
+	KwClass:    "class",
+	KwDef:      "def",
+	KwFunc:     "func",
+	KwVar:      "var",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwNew:      "new",
+	KwSelf:     "self",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwNil:      "nil",
+}
+
+// String returns the token kind's literal spelling or symbolic name.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "token(?)"
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or Ident.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Token is a single lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for Ident/Int/Float/String
+	Pos  source.Pos
+}
+
+// String renders a token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, Float:
+		return t.Lit
+	case String:
+		return "\"" + t.Lit + "\""
+	default:
+		return t.Kind.String()
+	}
+}

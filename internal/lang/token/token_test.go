@@ -1,0 +1,70 @@
+package token_test
+
+import (
+	"testing"
+
+	"objinline/internal/lang/source"
+	"objinline/internal/lang/token"
+)
+
+func TestLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"class":  token.KwClass,
+		"def":    token.KwDef,
+		"func":   token.KwFunc,
+		"while":  token.KwWhile,
+		"nil":    token.KwNil,
+		"foobar": token.Ident,
+		"Class":  token.Ident, // case-sensitive
+	}
+	for s, want := range cases {
+		if got := token.Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !token.KwClass.IsKeyword() || !token.KwNil.IsKeyword() {
+		t.Error("keywords not recognized")
+	}
+	for _, k := range []token.Kind{token.Ident, token.Plus, token.EOF, token.LBrace} {
+		if k.IsKeyword() {
+			t.Errorf("%v wrongly IsKeyword", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[token.Kind]string{
+		token.Plus:    "+",
+		token.Eq:      "==",
+		token.KwClass: "class",
+		token.EOF:     "EOF",
+		token.Ident:   "IDENT",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	pos := source.Pos{Line: 1, Col: 1}
+	cases := []struct {
+		tok  token.Token
+		want string
+	}{
+		{token.Token{Kind: token.Ident, Lit: "foo", Pos: pos}, "foo"},
+		{token.Token{Kind: token.Int, Lit: "42", Pos: pos}, "42"},
+		{token.Token{Kind: token.String, Lit: "hi", Pos: pos}, `"hi"`},
+		{token.Token{Kind: token.Plus, Pos: pos}, "+"},
+		{token.Token{Kind: token.KwWhile, Lit: "while", Pos: pos}, "while"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token.String() = %q, want %q", got, c.want)
+		}
+	}
+}

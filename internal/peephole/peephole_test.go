@@ -1,0 +1,201 @@
+package peephole_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/ir"
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+	"objinline/internal/lower"
+	"objinline/internal/peephole"
+	"objinline/internal/vm"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	tree, err := parser.Parse("t.icc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Check(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lower.Lower(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runProg executes and returns printed output.
+func runProg(t *testing.T, p *ir.Program) string {
+	t.Helper()
+	var out strings.Builder
+	if _, err := vm.New(p, vm.Options{Out: &out, MaxSteps: 5_000_000}).Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, p.String())
+	}
+	return out.String()
+}
+
+// cleanPreserves builds, records output, cleans, verifies, and checks the
+// output is unchanged; it returns (before, after) instruction counts.
+func cleanPreserves(t *testing.T, src string) (int, int) {
+	t.Helper()
+	p := build(t, src)
+	want := runProg(t, p)
+	before := p.CodeSize()
+	peephole.Program(p)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify after clean: %v\n%s", err, p.String())
+	}
+	got := runProg(t, p)
+	if got != want {
+		t.Fatalf("output changed: %q -> %q\n%s", want, got, p.String())
+	}
+	return before, p.CodeSize()
+}
+
+func TestRemovesUnusedConstants(t *testing.T) {
+	before, after := cleanPreserves(t, `
+func main() {
+  var unused = 42;
+  var alsoUnused = "str";
+  print(1);
+}
+`)
+	if after >= before {
+		t.Errorf("no shrink: %d -> %d", before, after)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	before, after := cleanPreserves(t, `
+func main() {
+  var a = 5;
+  var b = a;
+  var c = b;
+  print(c);
+}
+`)
+	if after >= before-2 {
+		t.Errorf("copies not collapsed: %d -> %d", before, after)
+	}
+}
+
+func TestKeepsTrappingOps(t *testing.T) {
+	// The dead division must stay: it traps on zero.
+	p := build(t, `
+func main() {
+  var dead = 1 / 0;
+  print("reached?");
+}
+`)
+	peephole.Program(p)
+	if _, err := vm.New(p, vm.Options{MaxSteps: 1000}).Run(); err == nil {
+		t.Fatal("dead division removed; trap lost")
+	}
+}
+
+func TestKeepsCalls(t *testing.T) {
+	// A call with an unused result has side effects and must stay.
+	src := `
+var n = 0;
+func bump() { n = n + 1; return n; }
+func main() {
+  bump();
+  bump();
+  print(n);
+}
+`
+	out := "2\n"
+	p := build(t, src)
+	peephole.Program(p)
+	if got := runProg(t, p); got != out {
+		t.Fatalf("calls dropped: %q", got)
+	}
+}
+
+func TestParamReassignmentSafe(t *testing.T) {
+	// A parameter updated in a loop must not be copy-propagated (it has
+	// an implicit entry definition).
+	cleanPreserves(t, `
+class Node { v; next; def init(v, n) { self.v = v; self.next = n; } }
+func sum(l) {
+  var s = 0;
+  while (l != nil) { s = s + l.v; l = l.next; }
+  return s;
+}
+func main() {
+  var l = nil;
+  for (var i = 1; i <= 10; i = i + 1) { l = new Node(i, l); }
+  print(sum(l));
+}
+`)
+}
+
+func TestLoopCarriedVariablesSafe(t *testing.T) {
+	cleanPreserves(t, `
+func main() {
+  var acc = 0;
+  for (var i = 0; i < 5; i = i + 1) {
+    var t = acc;
+    acc = t + i;
+  }
+  print(acc);
+}
+`)
+}
+
+func TestDeadAllocationRemoved(t *testing.T) {
+	before, after := cleanPreserves(t, `
+class C { x; }
+func main() {
+  var dead = new C();
+  print("done");
+}
+`)
+	if after >= before {
+		t.Errorf("dead allocation kept: %d -> %d", before, after)
+	}
+}
+
+func TestBranchesPreserved(t *testing.T) {
+	cleanPreserves(t, `
+func classify(n) {
+  if (n < 0) { return "neg"; }
+  if (n == 0) { return "zero"; }
+  return "pos";
+}
+func main() { print(classify(-2), classify(0), classify(9)); }
+`)
+}
+
+func TestShortCircuitPreserved(t *testing.T) {
+	cleanPreserves(t, `
+var hits = 0;
+func bump() { hits = hits + 1; return true; }
+func main() {
+  var a = false && bump();
+  var b = true || bump();
+  print(a, b, hits);
+}
+`)
+}
+
+func TestIdempotent(t *testing.T) {
+	p := build(t, `
+func main() {
+  var a = 1;
+  var b = a;
+  print(b);
+  var dead = 9;
+}
+`)
+	peephole.Program(p)
+	size1 := p.CodeSize()
+	if n := peephole.Program(p); n != 0 || p.CodeSize() != size1 {
+		t.Errorf("second pass changed the program: removed %d", n)
+	}
+}

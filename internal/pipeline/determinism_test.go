@@ -1,0 +1,74 @@
+package pipeline_test
+
+// The entire compiler must be deterministic: identical source compiles to
+// an identical program, byte for byte, across repeated runs. Map-iteration
+// order leaking into contour creation, grouping, or materialization would
+// show up here.
+
+import (
+	"testing"
+
+	"objinline/internal/bench"
+	"objinline/internal/cachesim"
+	"objinline/internal/pipeline"
+)
+
+func TestCompilationDeterministic(t *testing.T) {
+	for _, p := range bench.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var firstIR string
+			var firstCycles int64
+			for i := 0; i < 3; i++ {
+				c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ir := c.Prog.String()
+				counters, err := c.Run(pipeline.RunOptions{Cache: &cachesim.DefaultConfig, MaxSteps: 100_000_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					firstIR = ir
+					firstCycles = counters.Cycles
+					continue
+				}
+				if ir != firstIR {
+					t.Fatalf("run %d produced different IR", i)
+				}
+				if counters.Cycles != firstCycles {
+					t.Fatalf("run %d produced different cycles: %d vs %d", i, counters.Cycles, firstCycles)
+				}
+			}
+		})
+	}
+}
+
+func TestAnalysisStatsDeterministic(t *testing.T) {
+	p, err := bench.ByName("richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for i := 0; i < 3; i++ {
+		c, err := pipeline.Compile("r", src, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.Analysis.String()
+		if i == 0 {
+			first = got
+		} else if got != first {
+			t.Fatalf("analysis dump differs on run %d", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package pipeline wires the whole compiler together: parse → semantic
+// analysis → lowering → contour analysis → cloning/inlining → VM. It is
+// the implementation behind the public objinline API and the experiment
+// harness.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"objinline/internal/analysis"
+	"objinline/internal/cachesim"
+	"objinline/internal/core"
+	"objinline/internal/funcinline"
+	"objinline/internal/ir"
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+	"objinline/internal/lower"
+	"objinline/internal/peephole"
+	"objinline/internal/vm"
+)
+
+// Mode selects how much optimization runs before execution.
+type Mode int
+
+// Pipeline modes, mirroring the paper's three measured configurations.
+const (
+	// ModeDirect runs the lowered program as-is: the unoptimized uniform
+	// object model (every field access resolves by name, every call
+	// dispatches dynamically).
+	ModeDirect Mode = iota
+	// ModeBaseline runs Concert-style type inference + cloning without
+	// object inlining (the paper's "Concert Without Inlining" bars).
+	ModeBaseline
+	// ModeInline additionally runs object inlining (the paper's "Concert
+	// With Inlining" bars).
+	ModeInline
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDirect:
+		return "direct"
+	case ModeBaseline:
+		return "baseline"
+	default:
+		return "inline"
+	}
+}
+
+// Config configures a compilation.
+type Config struct {
+	Mode        Mode
+	ArrayLayout core.Layout
+	// Analysis tweaks (zero values mean defaults).
+	Analysis analysis.Options
+}
+
+// Compiled is a ready-to-run program plus everything the harness measures.
+type Compiled struct {
+	Source   *ir.Program // the lowered, unoptimized program
+	Prog     *ir.Program // the program that will execute
+	Analysis *analysis.Result
+	Optimize *core.Result
+	Mode     Mode
+}
+
+// Compile compiles Mini-ICC source through the configured pipeline.
+func Compile(file, src string, cfg Config) (*Compiled, error) {
+	tree, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := sem.Check(tree)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	prog, err := lower.Lower(info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	c := &Compiled{Source: prog, Prog: prog, Mode: cfg.Mode}
+	if cfg.Mode == ModeDirect {
+		return c, nil
+	}
+
+	aopts := cfg.Analysis
+	aopts.Tags = cfg.Mode == ModeInline
+	res := analysis.Analyze(prog, aopts)
+	c.Analysis = res
+
+	opt, err := core.Optimize(prog, res, core.Options{
+		Inline:      cfg.Mode == ModeInline,
+		ArrayLayout: cfg.ArrayLayout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("optimize: %w", err)
+	}
+	c.Optimize = opt
+	c.Prog = opt.Prog
+
+	// Post-specialization cleanup, applied identically to both optimized
+	// pipelines (never to ModeDirect, the unoptimized reference): small
+	// specialized methods are absorbed into their callers (§6.2.1's "most
+	// of the specialized methods are inlined"), then the peephole pass
+	// sweeps up the debris.
+	funcinline.Program(c.Prog, funcinline.DefaultOptions)
+	if err := c.Prog.Verify(); err != nil {
+		return nil, fmt.Errorf("function inlining broke the program: %w", err)
+	}
+	peephole.Program(c.Prog)
+	if err := c.Prog.Verify(); err != nil {
+		return nil, fmt.Errorf("peephole broke the program: %w", err)
+	}
+	return c, nil
+}
+
+// RunOptions configures one execution.
+type RunOptions struct {
+	Out      io.Writer
+	Cache    *cachesim.Config
+	Cost     *vm.CostModel
+	MaxSteps uint64
+}
+
+// Run executes the compiled program and returns its dynamic counters.
+func (c *Compiled) Run(opts RunOptions) (vm.Counters, error) {
+	m := vm.New(c.Prog, vm.Options{
+		Out:      opts.Out,
+		Cache:    opts.Cache,
+		Cost:     opts.Cost,
+		MaxSteps: opts.MaxSteps,
+	})
+	return m.Run()
+}
+
+// CodeSize returns the executable program's instruction count (the
+// Figure 15 metric).
+func (c *Compiled) CodeSize() int { return c.Prog.CodeSize() }

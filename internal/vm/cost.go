@@ -1,0 +1,64 @@
+package vm
+
+// CostModel charges deterministic cycle costs per VM operation. The
+// absolute numbers are not calibrated to any real machine; they are chosen
+// so that the relative weight of dispatch, allocation, and memory traffic
+// is realistic for a mid-90s RISC workstation, which is what Figure 17's
+// *shape* depends on.
+type CostModel struct {
+	Base          int64 // every executed instruction
+	Arith         int64 // extra for arithmetic/compare
+	FieldAccess   int64 // extra for a resolved (slot-bound) field access
+	DynFieldExtra int64 // extra for a by-name field lookup (unoptimized model)
+	ArrayAccess   int64 // extra for an array element access
+	Dispatch      int64 // dynamic method lookup + indirect call
+	StaticCall    int64 // devirtualized call
+	CallFrame     int64 // per-call frame setup/teardown
+	AllocBase     int64 // per heap allocation
+	AllocPerSlot  int64 // per allocated slot
+	StackAlloc    int64 // per stack/arena allocation of an elided temporary
+	CacheHit      int64 // per simulated memory access that hits
+	CacheMiss     int64 // per simulated memory access that misses
+	Builtin       int64 // per builtin invocation
+}
+
+// DefaultCostModel is used by all experiments unless overridden.
+var DefaultCostModel = CostModel{
+	Base:          1,
+	Arith:         0,
+	FieldAccess:   1,
+	DynFieldExtra: 3,
+	ArrayAccess:   1,
+	Dispatch:      12,
+	StaticCall:    2,
+	CallFrame:     3,
+	AllocBase:     60,
+	AllocPerSlot:  2,
+	StackAlloc:    3,
+	CacheHit:      1,
+	CacheMiss:     40,
+	Builtin:       2,
+}
+
+// Counters accumulates dynamic execution metrics; these are the raw data
+// behind EXPERIMENTS.md and Figure 17.
+type Counters struct {
+	Instructions uint64
+	Cycles       int64
+
+	Dereferences    uint64 // heap loads/stores of object fields & array elems
+	DynFieldLookups uint64 // field accesses resolved by name at run time
+	Dispatches      uint64 // dynamic method calls
+	StaticCalls     uint64
+	Calls           uint64 // all function/method calls
+	Builtins        uint64
+
+	ObjectsAllocated uint64 // heap objects
+	StackAllocated   uint64 // elided temporaries (cheap stack/arena allocation)
+	ArraysAllocated  uint64
+	SlotsAllocated   uint64
+	BytesAllocated   uint64
+
+	CacheHits   uint64
+	CacheMisses uint64
+}

@@ -1,0 +1,654 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"objinline/internal/cachesim"
+	"objinline/internal/ir"
+	"objinline/internal/lang/source"
+	"objinline/internal/lower"
+)
+
+// Options configures a Machine.
+type Options struct {
+	Out      io.Writer        // print target; defaults to io.Discard
+	Cost     *CostModel       // defaults to DefaultCostModel
+	Cache    *cachesim.Config // nil disables the cache model (hits assumed)
+	MaxSteps uint64           // 0 means the default limit
+}
+
+// DefaultMaxSteps bounds runaway programs.
+const DefaultMaxSteps = 4_000_000_000
+
+// Machine executes one IR program.
+type Machine struct {
+	prog    *ir.Program
+	out     io.Writer
+	cost    CostModel
+	cache   *cachesim.Cache
+	maxStep uint64
+
+	globals  []Value
+	counts   Counters
+	nextAdr  uint64
+	stackAdr uint64
+
+	slotMaps map[*ir.Class]map[string]int
+}
+
+// New prepares a machine for prog.
+func New(prog *ir.Program, opts Options) *Machine {
+	m := &Machine{
+		prog:     prog,
+		out:      opts.Out,
+		cost:     DefaultCostModel,
+		maxStep:  opts.MaxSteps,
+		globals:  make([]Value, len(prog.Globals)),
+		nextAdr:  binBytes, // bin-aligned; keep address 0 unused
+		stackAdr: stackBase,
+		slotMaps: make(map[*ir.Class]map[string]int),
+	}
+	if m.out == nil {
+		m.out = io.Discard
+	}
+	if opts.Cost != nil {
+		m.cost = *opts.Cost
+	}
+	if opts.Cache != nil {
+		m.cache = cachesim.New(*opts.Cache)
+	}
+	if m.maxStep == 0 {
+		m.maxStep = DefaultMaxSteps
+	}
+	return m
+}
+
+// Counters returns the metrics accumulated so far.
+func (m *Machine) Counters() Counters { return m.counts }
+
+// RuntimeError is a Mini-ICC runtime failure with a source position.
+type RuntimeError struct {
+	Pos source.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+type vmPanic struct{ err *RuntimeError }
+
+func (m *Machine) fail(pos source.Pos, format string, args ...any) {
+	panic(vmPanic{&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}})
+}
+
+// Run executes $init (if present) and then main, returning the accumulated
+// counters.
+func (m *Machine) Run() (c Counters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if vp, ok := r.(vmPanic); ok {
+				err = vp.err
+				c = m.counts
+				return
+			}
+			panic(r)
+		}
+	}()
+	if m.prog.Main == nil {
+		return m.counts, errors.New("vm: program has no main")
+	}
+	if init := m.prog.FuncNamed(lower.InitFuncName); init != nil {
+		m.exec(init, nil)
+	}
+	m.exec(m.prog.Main, nil)
+	return m.counts, nil
+}
+
+// charge adds cycles.
+func (m *Machine) charge(n int64) { m.counts.Cycles += n }
+
+// mem simulates one memory access at addr and charges its cost.
+func (m *Machine) mem(addr uint64) {
+	if m.cache == nil {
+		m.charge(m.cost.CacheHit)
+		return
+	}
+	if m.cache.Access(addr) {
+		m.counts.CacheHits++
+		m.charge(m.cost.CacheHit)
+	} else {
+		m.counts.CacheMisses++
+		m.charge(m.cost.CacheMiss)
+	}
+}
+
+func (m *Machine) slotByName(c *ir.Class, name string) (int, bool) {
+	sm := m.slotMaps[c]
+	if sm == nil {
+		sm = make(map[string]int, len(c.Fields))
+		for _, f := range c.Fields {
+			sm[f.Name] = f.Slot
+		}
+		m.slotMaps[c] = sm
+	}
+	s, ok := sm[name]
+	return s, ok
+}
+
+// allocObject creates a heap object of class c with nil slots. Stacked
+// allocations are the inlining transformation's elided temporaries: their
+// contents are copied into a container and the original dies, so they are
+// charged only a cheap stack/arena cost (DESIGN.md §2).
+func (m *Machine) allocObject(c *ir.Class, stacked bool) *Object {
+	n := c.NumSlots()
+	if stacked {
+		// Elided temporaries live on a hot stack page: their addresses
+		// cycle within a small window instead of consuming heap address
+		// space (they are dead after the inlining copy).
+		size := uint64(headerBytes + n*slotBytes)
+		if m.stackAdr+size > stackBase+stackWindow {
+			m.stackAdr = stackBase
+		}
+		o := &Object{Class: c, Slots: make([]Value, n), Addr: m.stackAdr}
+		m.stackAdr += size
+		m.counts.StackAllocated++
+		m.charge(m.cost.StackAlloc)
+		return o
+	}
+	o := &Object{Class: c, Slots: make([]Value, n), Addr: m.nextAdr}
+	size := padAlloc(uint64(headerBytes + n*slotBytes))
+	m.nextAdr += size
+	m.counts.ObjectsAllocated++
+	m.counts.SlotsAllocated += uint64(n)
+	m.counts.BytesAllocated += size
+	m.charge(m.cost.AllocBase + int64(n)*m.cost.AllocPerSlot)
+	return o
+}
+
+func (m *Machine) allocArray(length, stride int, parallel bool, elem *ir.Class) *Array {
+	slots := length
+	if stride > 0 {
+		slots = length * stride
+	}
+	a := &Array{Length: length, Stride: stride, Class: elem, Addr: m.nextAdr}
+	_ = slots
+	if parallel {
+		a.Cols = make([][]Value, stride)
+		for i := range a.Cols {
+			a.Cols[i] = make([]Value, length)
+		}
+	} else {
+		a.Elems = make([]Value, slots)
+	}
+	size := padAlloc(uint64(headerBytes + slots*slotBytes))
+	m.nextAdr += size
+	m.counts.ArraysAllocated++
+	m.counts.SlotsAllocated += uint64(slots)
+	m.counts.BytesAllocated += size
+	m.charge(m.cost.AllocBase + int64(slots)*m.cost.AllocPerSlot)
+	return a
+}
+
+// exec runs one function activation and returns its result.
+func (m *Machine) exec(fn *ir.Func, args []Value) Value {
+	m.counts.Calls++
+	m.charge(m.cost.CallFrame)
+	regs := make([]Value, fn.NumRegs)
+	copy(regs, args)
+	blk := fn.Blocks[0]
+	ip := 0
+	for {
+		if ip >= len(blk.Instrs) {
+			m.fail(source.Pos{}, "fell off block b%d in %s", blk.ID, fn.FullName())
+		}
+		in := blk.Instrs[ip]
+		ip++
+		m.counts.Instructions++
+		if m.counts.Instructions > m.maxStep {
+			m.fail(in.Pos, "step limit exceeded (%d)", m.maxStep)
+		}
+		m.charge(m.cost.Base)
+
+		switch in.Op {
+		case ir.OpConstInt:
+			regs[in.Dst] = IntValue(in.Aux)
+		case ir.OpConstFloat:
+			regs[in.Dst] = FloatValue(in.F)
+		case ir.OpConstStr:
+			regs[in.Dst] = StrValue(in.S)
+		case ir.OpConstBool:
+			regs[in.Dst] = BoolValue(in.Aux != 0)
+		case ir.OpConstNil:
+			regs[in.Dst] = NilValue()
+		case ir.OpMove:
+			regs[in.Dst] = regs[in.Args[0]]
+		case ir.OpBin:
+			regs[in.Dst] = m.binop(in, regs[in.Args[0]], regs[in.Args[1]])
+		case ir.OpUn:
+			regs[in.Dst] = m.unop(in, regs[in.Args[0]])
+		case ir.OpNewObject:
+			regs[in.Dst] = ObjValue(m.allocObject(in.Class, in.Aux == 1))
+		case ir.OpNewArray:
+			n := m.wantInt(in, regs[in.Args[0]])
+			if n < 0 {
+				m.fail(in.Pos, "negative array length %d", n)
+			}
+			regs[in.Dst] = ArrValue(m.allocArray(int(n), 0, false, nil))
+		case ir.OpNewArrayInl:
+			n := m.wantInt(in, regs[in.Args[0]])
+			if n < 0 {
+				m.fail(in.Pos, "negative array length %d", n)
+			}
+			stride := in.Class.NumSlots()
+			regs[in.Dst] = ArrValue(m.allocArray(int(n), stride, in.Aux == 1, in.Class))
+		case ir.OpGetField:
+			regs[in.Dst] = m.getField(in, regs[in.Args[0]])
+		case ir.OpSetField:
+			m.setField(in, regs[in.Args[0]], regs[in.Args[1]])
+		case ir.OpArrGet:
+			regs[in.Dst] = m.arrGet(in, regs[in.Args[0]], regs[in.Args[1]])
+		case ir.OpArrSet:
+			m.arrSet(in, regs[in.Args[0]], regs[in.Args[1]], regs[in.Args[2]])
+		case ir.OpArrInterior:
+			regs[in.Dst] = m.arrInterior(in, regs[in.Args[0]], regs[in.Args[1]])
+		case ir.OpCall:
+			callArgs := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				callArgs[i] = regs[a]
+			}
+			m.counts.StaticCalls++
+			m.charge(m.cost.StaticCall)
+			regs[in.Dst] = m.exec(in.Callee, callArgs)
+		case ir.OpCallStatic:
+			callArgs := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				callArgs[i] = regs[a]
+			}
+			m.counts.StaticCalls++
+			m.charge(m.cost.StaticCall)
+			regs[in.Dst] = m.exec(in.Callee, callArgs)
+		case ir.OpCallMethod:
+			recv := regs[in.Args[0]]
+			if recv.Kind != KObj {
+				m.fail(in.Pos, "method %s called on %s value", in.Method, recv.Kind)
+			}
+			target := recv.Obj.Class.LookupMethod(in.Method)
+			if target == nil {
+				m.fail(in.Pos, "class %s has no method %s", recv.Obj.Class.Name, in.Method)
+			}
+			if target.NumParams != len(in.Args)-1 {
+				m.fail(in.Pos, "%s takes %d arguments, got %d", target.FullName(), target.NumParams, len(in.Args)-1)
+			}
+			m.counts.Dispatches++
+			m.charge(m.cost.Dispatch)
+			// Touch the object header (the class pointer read the lookup
+			// needs).
+			m.mem(recv.Obj.Addr)
+			callArgs := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				callArgs[i] = regs[a]
+			}
+			regs[in.Dst] = m.exec(target, callArgs)
+		case ir.OpGetGlobal:
+			regs[in.Dst] = m.globals[in.Global]
+		case ir.OpSetGlobal:
+			m.globals[in.Global] = regs[in.Args[0]]
+		case ir.OpBuiltin:
+			regs[in.Dst] = m.builtin(in, regs)
+		case ir.OpJump:
+			blk = fn.Blocks[in.Target]
+			ip = 0
+		case ir.OpBranch:
+			if regs[in.Args[0]].Truthy() {
+				blk = fn.Blocks[in.Target]
+			} else {
+				blk = fn.Blocks[in.Else]
+			}
+			ip = 0
+		case ir.OpReturn:
+			if len(in.Args) > 0 {
+				return regs[in.Args[0]]
+			}
+			return NilValue()
+		case ir.OpTrap:
+			m.fail(in.Pos, "%s", in.S)
+		default:
+			m.fail(in.Pos, "unknown op %v", in.Op)
+		}
+	}
+}
+
+func (m *Machine) wantInt(in *ir.Instr, v Value) int64 {
+	if v.Kind != KInt {
+		m.fail(in.Pos, "expected int, got %s", v.Kind)
+	}
+	return v.I
+}
+
+// getField loads a field from an object or interior reference.
+func (m *Machine) getField(in *ir.Instr, recv Value) Value {
+	m.counts.Dereferences++
+	switch recv.Kind {
+	case KObj:
+		slot := m.resolveSlot(in, recv.Obj.Class)
+		m.charge(m.cost.FieldAccess)
+		m.mem(recv.Obj.SlotAddr(slot))
+		return recv.Obj.Slots[slot]
+	case KInterior:
+		rel := in.Field.Slot
+		if rel < 0 || in.Field.Owner != nil {
+			m.fail(in.Pos, "unspecialized field access %q on interior reference", in.Field.Name)
+		}
+		m.charge(m.cost.FieldAccess)
+		a := recv.Arr
+		if a.Parallel() {
+			m.mem(a.ColAddr(rel, recv.Base))
+			return a.Cols[rel][recv.Base]
+		}
+		m.mem(a.SlotAddr(recv.Base + rel))
+		return a.Elems[recv.Base+rel]
+	case KNil:
+		m.fail(in.Pos, "field %s of nil", in.Field.Name)
+	}
+	m.fail(in.Pos, "field %s of %s value", in.Field.Name, recv.Kind)
+	return Value{}
+}
+
+func (m *Machine) setField(in *ir.Instr, recv, v Value) {
+	m.counts.Dereferences++
+	switch recv.Kind {
+	case KObj:
+		slot := m.resolveSlot(in, recv.Obj.Class)
+		m.charge(m.cost.FieldAccess)
+		m.mem(recv.Obj.SlotAddr(slot))
+		recv.Obj.Slots[slot] = v
+		return
+	case KInterior:
+		rel := in.Field.Slot
+		if rel < 0 || in.Field.Owner != nil {
+			m.fail(in.Pos, "unspecialized field store %q on interior reference", in.Field.Name)
+		}
+		m.charge(m.cost.FieldAccess)
+		a := recv.Arr
+		if a.Parallel() {
+			m.mem(a.ColAddr(rel, recv.Base))
+			a.Cols[rel][recv.Base] = v
+			return
+		}
+		m.mem(a.SlotAddr(recv.Base + rel))
+		a.Elems[recv.Base+rel] = v
+		return
+	case KNil:
+		m.fail(in.Pos, "store to field %s of nil", in.Field.Name)
+	}
+	m.fail(in.Pos, "store to field %s of %s value", in.Field.Name, recv.Kind)
+}
+
+// resolveSlot maps the instruction's field reference to a slot of class c.
+// Slot-bound references (the optimizer's work) go straight to the slot;
+// name-only references pay the dynamic lookup cost of the uniform model.
+func (m *Machine) resolveSlot(in *ir.Instr, c *ir.Class) int {
+	f := in.Field
+	if f.Slot >= 0 && f.Owner != nil {
+		if c.IsSubclassOf(f.Owner) {
+			return f.Slot
+		}
+		// Bound to a different class version: fall back to by-name lookup.
+	}
+	m.counts.DynFieldLookups++
+	m.charge(m.cost.DynFieldExtra)
+	if s, ok := m.slotByName(c, f.Name); ok {
+		return s
+	}
+	m.fail(in.Pos, "class %s has no field %s", c.Name, f.Name)
+	return 0
+}
+
+func (m *Machine) checkIndex(in *ir.Instr, a *Array, i int64) int {
+	if i < 0 || int(i) >= a.Length {
+		m.fail(in.Pos, "array index %d out of range [0,%d)", i, a.Length)
+	}
+	return int(i)
+}
+
+func (m *Machine) arrGet(in *ir.Instr, av, iv Value) Value {
+	if av.Kind != KArr {
+		m.fail(in.Pos, "indexing a %s value", av.Kind)
+	}
+	a := av.Arr
+	i := m.checkIndex(in, a, m.wantInt(in, iv))
+	if a.Stride != 0 {
+		m.fail(in.Pos, "plain load from inlined array (unspecialized access)")
+	}
+	m.counts.Dereferences++
+	m.charge(m.cost.ArrayAccess)
+	m.mem(a.SlotAddr(i))
+	return a.Elems[i]
+}
+
+func (m *Machine) arrSet(in *ir.Instr, av, iv, v Value) {
+	if av.Kind != KArr {
+		m.fail(in.Pos, "indexing a %s value", av.Kind)
+	}
+	a := av.Arr
+	i := m.checkIndex(in, a, m.wantInt(in, iv))
+	if a.Stride != 0 {
+		m.fail(in.Pos, "plain store to inlined array (unspecialized access)")
+	}
+	m.counts.Dereferences++
+	m.charge(m.cost.ArrayAccess)
+	m.mem(a.SlotAddr(i))
+	a.Elems[i] = v
+}
+
+func (m *Machine) arrInterior(in *ir.Instr, av, iv Value) Value {
+	if av.Kind != KArr {
+		m.fail(in.Pos, "indexing a %s value", av.Kind)
+	}
+	a := av.Arr
+	i := m.checkIndex(in, a, m.wantInt(in, iv))
+	if a.Stride == 0 {
+		m.fail(in.Pos, "interior reference into a plain array")
+	}
+	m.charge(m.cost.ArrayAccess)
+	if a.Parallel() {
+		return InteriorValue(a, i)
+	}
+	return InteriorValue(a, i*a.Stride)
+}
+
+func (m *Machine) binop(in *ir.Instr, x, y Value) Value {
+	op := ir.BinOp(in.Aux)
+	m.charge(m.cost.Arith)
+	switch op {
+	case ir.BinEq:
+		return BoolValue(Identical(x, y))
+	case ir.BinNe:
+		return BoolValue(!Identical(x, y))
+	}
+	if x.Kind == KStr && y.Kind == KStr {
+		switch op {
+		case ir.BinAdd:
+			return StrValue(x.S + y.S)
+		case ir.BinLt:
+			return BoolValue(x.S < y.S)
+		case ir.BinLe:
+			return BoolValue(x.S <= y.S)
+		case ir.BinGt:
+			return BoolValue(x.S > y.S)
+		case ir.BinGe:
+			return BoolValue(x.S >= y.S)
+		}
+		m.fail(in.Pos, "operator %s not defined on strings", op)
+	}
+	if !isNum(x) || !isNum(y) {
+		m.fail(in.Pos, "operator %s on %s and %s", op, x.Kind, y.Kind)
+	}
+	if x.Kind == KInt && y.Kind == KInt {
+		a, b := x.I, y.I
+		switch op {
+		case ir.BinAdd:
+			return IntValue(a + b)
+		case ir.BinSub:
+			return IntValue(a - b)
+		case ir.BinMul:
+			return IntValue(a * b)
+		case ir.BinDiv:
+			if b == 0 {
+				m.fail(in.Pos, "integer division by zero")
+			}
+			return IntValue(a / b)
+		case ir.BinMod:
+			if b == 0 {
+				m.fail(in.Pos, "integer modulo by zero")
+			}
+			return IntValue(a % b)
+		case ir.BinLt:
+			return BoolValue(a < b)
+		case ir.BinLe:
+			return BoolValue(a <= b)
+		case ir.BinGt:
+			return BoolValue(a > b)
+		case ir.BinGe:
+			return BoolValue(a >= b)
+		}
+	}
+	a, b := toF(x), toF(y)
+	switch op {
+	case ir.BinAdd:
+		return FloatValue(a + b)
+	case ir.BinSub:
+		return FloatValue(a - b)
+	case ir.BinMul:
+		return FloatValue(a * b)
+	case ir.BinDiv:
+		return FloatValue(a / b)
+	case ir.BinMod:
+		return FloatValue(math.Mod(a, b))
+	case ir.BinLt:
+		return BoolValue(a < b)
+	case ir.BinLe:
+		return BoolValue(a <= b)
+	case ir.BinGt:
+		return BoolValue(a > b)
+	case ir.BinGe:
+		return BoolValue(a >= b)
+	}
+	m.fail(in.Pos, "unknown binary operator")
+	return Value{}
+}
+
+func (m *Machine) unop(in *ir.Instr, x Value) Value {
+	m.charge(m.cost.Arith)
+	switch ir.UnOp(in.Aux) {
+	case ir.UnNeg:
+		switch x.Kind {
+		case KInt:
+			return IntValue(-x.I)
+		case KFloat:
+			return FloatValue(-x.F)
+		}
+		m.fail(in.Pos, "negating a %s value", x.Kind)
+	case ir.UnNot:
+		return BoolValue(!x.Truthy())
+	}
+	m.fail(in.Pos, "unknown unary operator")
+	return Value{}
+}
+
+func (m *Machine) builtin(in *ir.Instr, regs []Value) Value {
+	m.counts.Builtins++
+	m.charge(m.cost.Builtin)
+	b := ir.Builtin(in.Aux)
+	arg := func(i int) Value { return regs[in.Args[i]] }
+	switch b {
+	case ir.BPrint:
+		parts := make([]string, len(in.Args))
+		for i := range in.Args {
+			parts[i] = arg(i).String()
+		}
+		fmt.Fprintln(m.out, strings.Join(parts, " "))
+		return NilValue()
+	case ir.BSqrt:
+		return FloatValue(math.Sqrt(m.wantNum(in, arg(0))))
+	case ir.BFloor:
+		return FloatValue(math.Floor(m.wantNum(in, arg(0))))
+	case ir.BAbs:
+		v := arg(0)
+		switch v.Kind {
+		case KInt:
+			if v.I < 0 {
+				return IntValue(-v.I)
+			}
+			return v
+		case KFloat:
+			return FloatValue(math.Abs(v.F))
+		}
+		m.fail(in.Pos, "abs of %s value", v.Kind)
+	case ir.BMin, ir.BMax:
+		x, y := arg(0), arg(1)
+		if x.Kind == KInt && y.Kind == KInt {
+			if (b == ir.BMin) == (x.I < y.I) {
+				return x
+			}
+			return y
+		}
+		a, c := m.wantNum(in, x), m.wantNum(in, y)
+		if (b == ir.BMin) == (a < c) {
+			return FloatValue(a)
+		}
+		return FloatValue(c)
+	case ir.BLen:
+		v := arg(0)
+		switch v.Kind {
+		case KArr:
+			return IntValue(int64(v.Arr.Length))
+		case KStr:
+			return IntValue(int64(len(v.S)))
+		}
+		m.fail(in.Pos, "len of %s value", v.Kind)
+	case ir.BIntOf:
+		v := arg(0)
+		switch v.Kind {
+		case KInt:
+			return v
+		case KFloat:
+			return IntValue(int64(v.F))
+		}
+		m.fail(in.Pos, "intof of %s value", v.Kind)
+	case ir.BFloatOf:
+		return FloatValue(m.wantNum(in, arg(0)))
+	case ir.BAssert:
+		if !arg(0).Truthy() {
+			m.fail(in.Pos, "assertion failed")
+		}
+		return NilValue()
+	case ir.BStrCat:
+		x, y := arg(0), arg(1)
+		return StrValue(x.String() + y.String())
+	case ir.BXor:
+		x, y := arg(0), arg(1)
+		if x.Kind != KInt || y.Kind != KInt {
+			m.fail(in.Pos, "bxor needs ints, got %s and %s", x.Kind, y.Kind)
+		}
+		return IntValue(x.I ^ y.I)
+	}
+	m.fail(in.Pos, "unknown builtin")
+	return Value{}
+}
+
+func (m *Machine) wantNum(in *ir.Instr, v Value) float64 {
+	if !isNum(v) {
+		m.fail(in.Pos, "expected number, got %s", v.Kind)
+	}
+	return toF(v)
+}

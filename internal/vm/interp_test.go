@@ -1,0 +1,274 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/ir"
+	"objinline/internal/lang/parser"
+	"objinline/internal/lang/sem"
+	"objinline/internal/lower"
+	"objinline/internal/vm"
+)
+
+// compile builds IR from source, failing the test on any error.
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("test.icc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	p, err := lower.Lower(info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+// run executes source and returns its printed output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	p := compile(t, src)
+	var out strings.Builder
+	m := vm.New(p, vm.Options{Out: &out, MaxSteps: 50_000_000})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v\nIR:\n%s", err, p.String())
+	}
+	return out.String()
+}
+
+// runErr executes source expecting a runtime error.
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	p := compile(t, src)
+	m := vm.New(p, vm.Options{MaxSteps: 1_000_000})
+	_, err := m.Run()
+	if err == nil {
+		t.Fatalf("expected runtime error, got none")
+	}
+	return err
+}
+
+func wantOut(t *testing.T, src, want string) {
+	t.Helper()
+	got := run(t, src)
+	if got != want {
+		t.Errorf("output mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantOut(t, `func main() { print(1 + 2 * 3); }`, "7\n")
+	wantOut(t, `func main() { print((1 + 2) * 3); }`, "9\n")
+	wantOut(t, `func main() { print(7 / 2, 7 % 2); }`, "3 1\n")
+	wantOut(t, `func main() { print(7.0 / 2); }`, "3.5\n")
+	wantOut(t, `func main() { print(-3, -(1.5)); }`, "-3 -1.5\n")
+	wantOut(t, `func main() { print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4); }`, "true true false true\n")
+	wantOut(t, `func main() { print(1 == 1.0, 1 != 2); }`, "true true\n")
+	wantOut(t, `func main() { print("a" + "b"); }`, "ab\n")
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand must not run when the left decides.
+	src := `
+var hits = 0;
+func bump() { hits = hits + 1; return true; }
+func main() {
+  var a = false && bump();
+  var b = true || bump();
+  print(a, b, hits);
+  var c = true && bump();
+  var d = false || bump();
+  print(c, d, hits);
+}`
+	wantOut(t, src, "false true 0\ntrue true 2\n")
+}
+
+func TestControlFlow(t *testing.T) {
+	wantOut(t, `
+func main() {
+  var i = 0;
+  var sum = 0;
+  while (i < 5) { sum = sum + i; i = i + 1; }
+  print(sum);
+}`, "10\n")
+
+	wantOut(t, `
+func main() {
+  var sum = 0;
+  for (var i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    sum = sum + i;
+  }
+  print(sum);
+}`, "16\n")
+
+	wantOut(t, `
+func classify(n) {
+  if (n < 0) { return "neg"; } else if (n == 0) { return "zero"; }
+  return "pos";
+}
+func main() { print(classify(-1), classify(0), classify(5)); }`, "neg zero pos\n")
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	wantOut(t, `
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(15)); }`, "610\n")
+}
+
+func TestObjectsAndDispatch(t *testing.T) {
+	src := `
+class Point {
+  x; y;
+  def init(x0, y0) { self.x = x0; self.y = y0; }
+  def norm() { return sqrt(self.x * self.x + self.y * self.y); }
+  def kind() { return "point"; }
+}
+class Point3D : Point {
+  z;
+  def init(x0, y0, z0) { self.x = x0; self.y = y0; self.z = z0; }
+  def norm() { return sqrt(self.x * self.x + self.y * self.y + self.z * self.z); }
+  def kind() { return "point3d"; }
+}
+func describe(p) { print(p.kind(), p.norm()); }
+func main() {
+  describe(new Point(3.0, 4.0));
+  describe(new Point3D(1.0, 2.0, 2.0));
+}`
+	wantOut(t, src, "point 5\npoint3d 3\n")
+}
+
+func TestInheritedFieldsAndMethods(t *testing.T) {
+	src := `
+class A { a; def geta() { return self.a; } }
+class B : A { b; def init() { self.a = 1; self.b = 2; } }
+func main() {
+  var o = new B();
+  print(o.geta(), o.a, o.b);
+}`
+	wantOut(t, src, "1 1 2\n")
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+func main() {
+  var a = new [4];
+  for (var i = 0; i < len(a); i = i + 1) { a[i] = i * i; }
+  var sum = 0;
+  for (var i = 0; i < len(a); i = i + 1) { sum = sum + a[i]; }
+  print(sum, len(a), a[3]);
+}`
+	wantOut(t, src, "14 4 9\n")
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+var counter = 100;
+var label = "c";
+func bump(n) { counter = counter + n; }
+func main() { bump(5); bump(7); print(label, counter); }`
+	wantOut(t, src, "c 112\n")
+}
+
+func TestBuiltins(t *testing.T) {
+	wantOut(t, `func main() { print(sqrt(16.0), floor(2.9), abs(-4), abs(-2.5)); }`, "4 2 4 2.5\n")
+	wantOut(t, `func main() { print(min(3, 9), max(3, 9), min(2.5, 2), max(-1, -2)); }`, "3 9 2 -1\n")
+	wantOut(t, `func main() { print(intof(3.9), floatof(2), len("hello")); }`, "3 2 5\n")
+	wantOut(t, `func main() { print(strcat("n=", 4)); }`, "n=4\n")
+}
+
+func TestReferenceSemantics(t *testing.T) {
+	src := `
+class Box { v; def init(v0) { self.v = v0; } }
+func mutate(b) { b.v = 99; }
+func main() {
+  var b = new Box(1);
+  var alias = b;
+  mutate(alias);
+  print(b.v, b == alias, b == new Box(1));
+}`
+	wantOut(t, src, "99 true false\n")
+}
+
+func TestNilSemantics(t *testing.T) {
+	wantOut(t, `func main() { var x; print(x, x == nil, nil == nil); }`, "nil true true\n")
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"nil field", `class C { x; } func main() { var c; print(c.x); }`, "field x of nil"},
+		{"div zero", `func main() { print(1 / 0); }`, "division by zero"},
+		{"index range", `func main() { var a = new [2]; print(a[5]); }`, "out of range"},
+		{"no method", `class C { x; } func main() { var c = new C(); c.nope(); }`, "no method nope"},
+		{"missing field", `class C { x; } class D { y; } func main() { var d = new D(); print(d.x); }`, "no field x"},
+		{"assert", `func main() { assert(1 == 2); }`, "assertion failed"},
+		{"arity", `class C { def m(a) { return a; } } func main() { var c = new C(); c.m(); }`, "takes 1 arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runErr(t, tc.src)
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := compile(t, `func main() { while (true) { } }`)
+	m := vm.New(p, vm.Options{MaxSteps: 1000})
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("want step-limit error, got %v", err)
+	}
+}
+
+func TestCountersTrackWork(t *testing.T) {
+	p := compile(t, `
+class C { x; def init() { self.x = 1; } }
+func main() {
+  var c = new C();
+  var i = 0;
+  while (i < 10) { c.x = c.x + c.x; i = i + 1; }
+  print(c.x);
+}`)
+	var out strings.Builder
+	m := vm.New(p, vm.Options{Out: &out})
+	c, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "1024\n" {
+		t.Fatalf("output %q", out.String())
+	}
+	if c.ObjectsAllocated != 1 {
+		t.Errorf("ObjectsAllocated = %d, want 1", c.ObjectsAllocated)
+	}
+	// init store + 10 * (load+load+store) = 31 dereferences, plus the final
+	// print load.
+	if c.Dereferences != 32 {
+		t.Errorf("Dereferences = %d, want 32", c.Dereferences)
+	}
+	if c.Cycles <= 0 || c.Instructions == 0 {
+		t.Errorf("cycles/instructions not accumulated: %+v", c)
+	}
+}
+
+func TestConstructorChainsToSuperInit(t *testing.T) {
+	// A subclass without its own init uses the inherited one.
+	src := `
+class A { v; def init(v0) { self.v = v0; } }
+class B : A { }
+func main() { var b = new B(42); print(b.v); }`
+	wantOut(t, src, "42\n")
+}

@@ -1,0 +1,176 @@
+package vm_test
+
+// Property tests: the VM's arithmetic must agree with Go's on random
+// operands, and identity must be an equivalence relation.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalBinop runs "print(<a> <op> <b>)" through the whole pipeline and
+// returns the printed text.
+func evalBinop(t *testing.T, a, op, b string) string {
+	t.Helper()
+	return strings.TrimSpace(run(t, fmt.Sprintf("func main() { print(%s %s %s); }", a, op, b)))
+}
+
+func goFloatString(f float64) string {
+	// Mirror vm.formatFloat.
+	return fmt.Sprintf("%.10g", f)
+}
+
+// floatLit renders f so it lexes as a float literal (a bare "2897" would
+// parse as an int and take the integer-division path).
+func floatLit(f float64) string {
+	s := goFloatString(f)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func TestIntArithmeticMatchesGo(t *testing.T) {
+	ops := []struct {
+		op string
+		fn func(a, b int64) (int64, bool)
+	}{
+		{"+", func(a, b int64) (int64, bool) { return a + b, true }},
+		{"-", func(a, b int64) (int64, bool) { return a - b, true }},
+		{"*", func(a, b int64) (int64, bool) { return a * b, true }},
+		{"/", func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{"%", func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}},
+	}
+	for _, o := range ops {
+		o := o
+		f := func(a16, b16 int16) bool {
+			a, b := int64(a16), int64(b16)
+			want, ok := o.fn(a, b)
+			if !ok {
+				return true // division by zero handled separately
+			}
+			got := evalBinop(t, fmt.Sprint(a), o.op, fmt.Sprintf("(%d)", b))
+			return got == fmt.Sprint(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("op %s: %v", o.op, err)
+		}
+	}
+}
+
+func TestIntComparisonsMatchGo(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := int64(a8), int64(b8)
+		checks := []struct {
+			op   string
+			want bool
+		}{
+			{"<", a < b}, {"<=", a <= b}, {">", a > b}, {">=", a >= b},
+			{"==", a == b}, {"!=", a != b},
+		}
+		for _, c := range checks {
+			got := evalBinop(t, fmt.Sprint(a), c.op, fmt.Sprintf("(%d)", b))
+			if got != fmt.Sprint(c.want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatArithmeticMatchesGo(t *testing.T) {
+	f := func(an, bn int16) bool {
+		a := float64(an) / 8
+		b := float64(bn)/8 + 0.5 // avoid zero divisors most of the time
+		if b == 0 {
+			return true
+		}
+		checks := []struct {
+			op   string
+			want float64
+		}{
+			{"+", a + b}, {"-", a - b}, {"*", a * b}, {"/", a / b},
+		}
+		for _, c := range checks {
+			got := evalBinop(t, floatLit(a), c.op, fmt.Sprintf("(%s)", floatLit(b)))
+			if got != goFloatString(c.want) {
+				t.Logf("%v %s %v: got %s want %s", a, c.op, b, got, goFloatString(c.want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedArithmeticPromotes(t *testing.T) {
+	if got := evalBinop(t, "1", "+", "2.5"); got != "3.5" {
+		t.Errorf("1 + 2.5 = %s", got)
+	}
+	if got := evalBinop(t, "5", "/", "2.0"); got != "2.5" {
+		t.Errorf("5 / 2.0 = %s", got)
+	}
+	if got := evalBinop(t, "7.0", "%", "2"); got != goFloatString(math.Mod(7, 2)) {
+		t.Errorf("7.0 %% 2 = %s", got)
+	}
+}
+
+func TestBxorMatchesGo(t *testing.T) {
+	f := func(a, b uint16) bool {
+		got := strings.TrimSpace(run(t, fmt.Sprintf("func main() { print(bxor(%d, %d)); }", a, b)))
+		return got == fmt.Sprint(a^b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityIsEquivalenceOnObjects(t *testing.T) {
+	src := `
+class C { v; def init(v) { self.v = v; } }
+func main() {
+  var a = new C(1);
+  var b = new C(1);
+  var c = a;
+  print(a == a, a == c, c == a);         // reflexive + symmetric
+  print(a == b, b == a);                 // distinct objects
+  print((a == c) && (c == a) && (a == a)); // transitivity witness
+}
+`
+	wantOut(t, src, "true true true\nfalse false\ntrue\n")
+}
+
+func TestTruthinessTable(t *testing.T) {
+	src := `
+class C { x; }
+func main() {
+  if (0) { print("0t"); } else { print("0f"); }
+  if (0.0) { print("ft"); } else { print("ff"); }
+  if ("") { print("st"); } else { print("sf"); }
+  if (nil) { print("nt"); } else { print("nf"); }
+  if (new C()) { print("ot"); } else { print("of"); }
+  if (-1) { print("mt"); } else { print("mf"); }
+}
+`
+	// Empty strings are truthy (only nil, false, and numeric zero are
+	// falsy).
+	wantOut(t, src, "0f\nff\nst\nnf\not\nmt\n")
+}

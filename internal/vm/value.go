@@ -1,0 +1,236 @@
+// Package vm executes IR programs on an explicit uniform object model:
+// a heap of objects and arrays with synthetic addresses, reference values,
+// dynamic dispatch, and — after the inlining transformation — interior
+// references into inlined array storage. The VM doubles as the measurement
+// substrate: it counts dereferences, allocations, and dispatches, and it
+// charges a deterministic cycle cost per operation with a simulated data
+// cache (see DESIGN.md §2 for why this stands in for the paper's
+// SparcStation + G++ testbed).
+package vm
+
+import (
+	"fmt"
+	"strconv"
+
+	"objinline/internal/ir"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+// Runtime value kinds.
+const (
+	KNil Kind = iota
+	KInt
+	KFloat
+	KBool
+	KStr
+	KObj
+	KArr
+	KInterior // reference into an inlined array's element storage
+)
+
+var kindNames = [...]string{"nil", "int", "float", "bool", "string", "object", "array", "interior"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Value is one runtime value. It is passed by value; only Obj/Arr point at
+// shared state.
+type Value struct {
+	Kind Kind
+	I    int64 // int payload; bool uses 0/1
+	F    float64
+	S    string
+	Obj  *Object
+	Arr  *Array
+	Base int // interior reference: first slot of the element's inlined state
+}
+
+// Convenience constructors.
+
+// NilValue returns the nil reference.
+func NilValue() Value { return Value{Kind: KNil} }
+
+// IntValue boxes an int.
+func IntValue(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// FloatValue boxes a float.
+func FloatValue(f float64) Value { return Value{Kind: KFloat, F: f} }
+
+// BoolValue boxes a bool.
+func BoolValue(b bool) Value {
+	if b {
+		return Value{Kind: KBool, I: 1}
+	}
+	return Value{Kind: KBool}
+}
+
+// StrValue boxes a string.
+func StrValue(s string) Value { return Value{Kind: KStr, S: s} }
+
+// ObjValue boxes an object reference.
+func ObjValue(o *Object) Value { return Value{Kind: KObj, Obj: o} }
+
+// ArrValue boxes an array reference.
+func ArrValue(a *Array) Value { return Value{Kind: KArr, Arr: a} }
+
+// InteriorValue references the inlined state of element slot base in a.
+func InteriorValue(a *Array, base int) Value { return Value{Kind: KInterior, Arr: a, Base: base} }
+
+// Truthy reports the boolean interpretation used by branches: false, nil,
+// and numeric zero are false.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KNil:
+		return false
+	case KBool, KInt:
+		return v.I != 0
+	case KFloat:
+		return v.F != 0
+	default:
+		return true
+	}
+}
+
+// String renders the value the way the print builtin does.
+func (v Value) String() string {
+	switch v.Kind {
+	case KNil:
+		return "nil"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return formatFloat(v.F)
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KStr:
+		return v.S
+	case KObj:
+		// Print the source-level class name: restructured class versions
+		// must be observationally identical to the original program.
+		c := v.Obj.Class
+		if c.Origin != nil {
+			c = c.Origin
+		}
+		return "<" + c.Name + ">"
+	case KArr:
+		return fmt.Sprintf("<array len=%d>", v.Arr.Length)
+	case KInterior:
+		return "<interior>"
+	default:
+		return "<?>"
+	}
+}
+
+// formatFloat prints floats with a stable format shared by the original
+// and transformed programs (differential tests compare output text).
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', 10, 64)
+	return s
+}
+
+// Identical implements reference identity (==) on values. Inlined objects
+// compare by (container, base) so identity is preserved by the
+// transformation.
+func Identical(a, b Value) bool {
+	if a.Kind != b.Kind {
+		// Numeric cross-kind comparison is value equality.
+		if isNum(a) && isNum(b) {
+			return numEq(a, b)
+		}
+		return false
+	}
+	switch a.Kind {
+	case KNil:
+		return true
+	case KInt, KBool:
+		return a.I == b.I
+	case KFloat:
+		return a.F == b.F
+	case KStr:
+		return a.S == b.S
+	case KObj:
+		return a.Obj == b.Obj
+	case KArr:
+		return a.Arr == b.Arr
+	case KInterior:
+		return a.Arr == b.Arr && a.Base == b.Base
+	}
+	return false
+}
+
+func isNum(v Value) bool { return v.Kind == KInt || v.Kind == KFloat }
+
+func numEq(a, b Value) bool {
+	return toF(a) == toF(b)
+}
+
+func toF(v Value) float64 {
+	if v.Kind == KFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// Object is a heap object: a class pointer and one slot per field.
+type Object struct {
+	Class *ir.Class
+	Slots []Value
+	Addr  uint64 // synthetic byte address of the object header
+}
+
+// SlotAddr returns the synthetic address of slot i.
+func (o *Object) SlotAddr(i int) uint64 { return o.Addr + headerBytes + uint64(i)*slotBytes }
+
+// Array is a heap array. Plain arrays hold one Value per element
+// (Stride == 0). Inlined arrays hold the flattened object state of each
+// element: Stride slots per element in object order, or — with the
+// parallel layout — Stride column vectors of Length values each.
+type Array struct {
+	Length int
+	Elems  []Value   // plain: len == Length; inlined object-order: len == Length*Stride
+	Stride int       // 0 for plain arrays
+	Cols   [][]Value // parallel layout: Stride columns of Length slots
+	Class  *ir.Class // element class for inlined arrays
+	Addr   uint64
+}
+
+// Parallel reports whether the array uses the parallel-column layout.
+func (a *Array) Parallel() bool { return a.Cols != nil }
+
+// SlotAddr returns the synthetic address of flat slot i (object-order
+// layout) or of column c, row r (parallel layout, via ColAddr).
+func (a *Array) SlotAddr(i int) uint64 { return a.Addr + headerBytes + uint64(i)*slotBytes }
+
+// ColAddr returns the synthetic address of column c, row r for the
+// parallel layout; columns are laid out one after another.
+func (a *Array) ColAddr(c, r int) uint64 {
+	return a.Addr + headerBytes + uint64(c*a.Length+r)*slotBytes
+}
+
+// Synthetic memory layout constants: a two-word object header (class
+// pointer + allocator word, typical for mid-90s runtimes) plus 8-byte
+// slots. Heap allocations are additionally rounded up to 32-byte
+// allocator bins (binPad), which is what makes arrays of small heap
+// objects so much less cache-dense than inlined storage — the effect
+// behind the paper's polyover and OOPACK numbers.
+const (
+	headerBytes = 16
+	slotBytes   = 8
+	binBytes    = 32
+)
+
+// padAlloc rounds a heap allocation to its allocator bin.
+func padAlloc(size uint64) uint64 {
+	return (size + binBytes - 1) / binBytes * binBytes
+}
+
+// Stack-page modeling for elided temporaries: a small window of addresses
+// far from the heap that stays cache-hot, like a real call stack.
+const (
+	stackBase   uint64 = 1 << 40
+	stackWindow uint64 = 4096
+)

@@ -1,0 +1,189 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/vm"
+)
+
+func TestNestedArrays(t *testing.T) {
+	src := `
+func main() {
+  var grid = new [3];
+  for (var i = 0; i < 3; i = i + 1) {
+    grid[i] = new [3];
+    for (var j = 0; j < 3; j = j + 1) { grid[i][j] = i * 3 + j; }
+  }
+  var s = 0;
+  for (var i = 0; i < 3; i = i + 1) {
+    for (var j = 0; j < 3; j = j + 1) { s = s + grid[i][j]; }
+  }
+  print(s);
+}
+`
+	wantOut(t, src, "36\n")
+}
+
+func TestArrayInObjectField(t *testing.T) {
+	src := `
+class Buf {
+  data; n;
+  def init(cap) { self.data = new [cap]; self.n = 0; }
+  def push(v) { self.data[self.n] = v; self.n = self.n + 1; }
+  def sum() {
+    var s = 0;
+    for (var i = 0; i < self.n; i = i + 1) { s = s + self.data[i]; }
+    return s;
+  }
+}
+func main() {
+  var b = new Buf(8);
+  b.push(10); b.push(20); b.push(12);
+  print(b.sum(), b.n, len(b.data));
+}
+`
+	wantOut(t, src, "42 3 8\n")
+}
+
+func TestStringOrdering(t *testing.T) {
+	wantOut(t, `func main() { print("abc" < "abd", "b" > "a", "x" <= "x", "z" >= "za"); }`,
+		"true true true false\n")
+}
+
+func TestMethodsOnSelfChaining(t *testing.T) {
+	src := `
+class Counter {
+  n;
+  def init() { self.n = 0; }
+  def inc() { self.n = self.n + 1; return self; }
+  def value() { return self.n; }
+}
+func main() {
+  var c = new Counter();
+  print(c.inc().inc().inc().value());
+}
+`
+	wantOut(t, src, "3\n")
+}
+
+func TestDeepRecursionWithObjects(t *testing.T) {
+	src := `
+class V { x; def init(x) { self.x = x; } }
+func depth(n) {
+  if (n == 0) { return new V(0); }
+  var inner = depth(n - 1);
+  return new V(inner.x + 1);
+}
+func main() { print(depth(200).x); }
+`
+	wantOut(t, src, "200\n")
+}
+
+func TestNegativeModAndDivSemantics(t *testing.T) {
+	// Go semantics: truncated division.
+	wantOut(t, `func main() { print(-7 / 2, -7 % 2, 7 / -2, 7 % -2); }`, "-3 -1 -3 1\n")
+}
+
+func TestRuntimeErrorPositions(t *testing.T) {
+	err := runErr(t, "func main() {\n  var a = new [1];\n  print(a[3]);\n}")
+	if !strings.Contains(err.Error(), "test.icc:3:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	var re *vm.RuntimeError
+	if !asRuntimeError(err, &re) {
+		t.Errorf("error is %T, want *vm.RuntimeError", err)
+	}
+}
+
+func asRuntimeError(err error, out **vm.RuntimeError) bool {
+	re, ok := err.(*vm.RuntimeError)
+	if ok {
+		*out = re
+	}
+	return ok
+}
+
+func TestCountersDistinguishCallKinds(t *testing.T) {
+	p := compile(t, `
+class C { def m() { return 1; } }
+func f() { return 2; }
+func main() {
+  var c = new C();
+  c.m(); c.m();
+  f();
+}
+`)
+	m := vm.New(p, vm.Options{})
+	counters, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Dispatches != 2 {
+		t.Errorf("Dispatches = %d, want 2", counters.Dispatches)
+	}
+	// f() + the implicit constructor-less new (no call) = 1 static call.
+	if counters.StaticCalls != 1 {
+		t.Errorf("StaticCalls = %d, want 1", counters.StaticCalls)
+	}
+	// main + f + 2×m = 4 activations.
+	if counters.Calls != 4 {
+		t.Errorf("Calls = %d, want 4", counters.Calls)
+	}
+}
+
+func TestBytesAllocatedTracksBins(t *testing.T) {
+	p := compile(t, `
+class One { a; }
+func main() {
+  var x = new One();   // 16B header + 8B slot -> one 32B bin
+  var a = new [10];    // 16 + 80 -> 96B (three bins)
+  print(1);
+}
+`)
+	m := vm.New(p, vm.Options{})
+	counters, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.BytesAllocated != 32+96 {
+		t.Errorf("BytesAllocated = %d, want 128", counters.BytesAllocated)
+	}
+}
+
+func TestGlobalInitializerOrder(t *testing.T) {
+	src := `
+var a = 1;
+var b = a + 1;
+var c = b * 10;
+func main() { print(a, b, c); }
+`
+	wantOut(t, src, "1 2 20\n")
+}
+
+func TestWhileConditionReevaluated(t *testing.T) {
+	src := `
+var limit = 3;
+func main() {
+  var i = 0;
+  while (i < limit) {
+    i = i + 1;
+    if (i == 2) { limit = 5; }
+  }
+  print(i);
+}
+`
+	wantOut(t, src, "5\n")
+}
+
+func TestPrintObjectAndArrayForms(t *testing.T) {
+	src := `
+class Thing { v; }
+func main() {
+  var x = new Thing();
+  var a = new [2];
+  print(x, a);
+}
+`
+	wantOut(t, src, "<Thing> <array len=2>\n")
+}

@@ -1,0 +1,308 @@
+// Package objinline is a from-scratch reproduction of "Automatic Inline
+// Allocation of Objects" (Julian Dolby, PLDI 1997): a compiler for a small
+// uniform-object-model language (Mini-ICC) whose optimizer automatically
+// inline-allocates child objects inside their containers, driven by a
+// Concert-style context-sensitive flow analysis, the paper's use- and
+// assignment-specialization analyses, and a cloning framework.
+//
+// The public API compiles Mini-ICC source under one of three pipelines —
+// the direct uniform model, the cloning-only baseline, or full object
+// inlining — and executes it on an instrumented VM whose deterministic
+// cost model (with a simulated data cache) stands in for the paper's
+// SparcStation testbed. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quickstart:
+//
+//	prog, err := objinline.Compile("demo.icc", src, objinline.Config{Mode: objinline.Inline})
+//	if err != nil { ... }
+//	metrics, err := prog.Run(objinline.RunOptions{Output: os.Stdout})
+//	fmt.Println(prog.InlinedFields(), metrics.Cycles)
+package objinline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"objinline/internal/analysis"
+	"objinline/internal/bench"
+	"objinline/internal/cachesim"
+	"objinline/internal/core"
+	"objinline/internal/pipeline"
+	"objinline/internal/vm"
+)
+
+// Mode selects the optimization pipeline.
+type Mode int
+
+// Pipeline modes, mirroring the paper's measured configurations.
+const (
+	// Direct executes the uniform object model as-is: by-name field
+	// resolution and dynamic dispatch everywhere.
+	Direct Mode = iota
+	// Baseline runs Concert-style type inference and cloning
+	// (devirtualization and field-slot binding) without object inlining —
+	// the paper's "Concert Without Inlining".
+	Baseline
+	// Inline additionally performs automatic object inlining — the
+	// paper's "Concert With Inlining".
+	Inline
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Direct:
+		return "direct"
+	case Baseline:
+		return "baseline"
+	default:
+		return "inline"
+	}
+}
+
+// Config configures compilation.
+type Config struct {
+	Mode Mode
+	// ParallelArrays lays inlined arrays out as one column per field
+	// (struct-of-arrays) instead of element-major — the paper's
+	// Fortran-style layout remark in §6.3.
+	ParallelArrays bool
+	// TagDepth caps the use-specialization tag nesting (default 3).
+	TagDepth int
+	// MaxPasses bounds the analysis's iterative refinement (default 8).
+	MaxPasses int
+}
+
+// Program is a compiled Mini-ICC program, ready to run.
+type Program struct {
+	c *pipeline.Compiled
+}
+
+// Compile builds a program from Mini-ICC source text.
+func Compile(filename, src string, cfg Config) (*Program, error) {
+	var mode pipeline.Mode
+	switch cfg.Mode {
+	case Direct:
+		mode = pipeline.ModeDirect
+	case Baseline:
+		mode = pipeline.ModeBaseline
+	case Inline:
+		mode = pipeline.ModeInline
+	default:
+		return nil, fmt.Errorf("objinline: unknown mode %d", cfg.Mode)
+	}
+	layout := core.LayoutObjectOrder
+	if cfg.ParallelArrays {
+		layout = core.LayoutParallel
+	}
+	c, err := pipeline.Compile(filename, src, pipeline.Config{
+		Mode:        mode,
+		ArrayLayout: layout,
+		Analysis: analysis.Options{
+			TagDepth:  cfg.TagDepth,
+			MaxPasses: cfg.MaxPasses,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// RunOptions configures one execution.
+type RunOptions struct {
+	// Output receives everything the program prints (default: discard).
+	Output io.Writer
+	// MaxSteps bounds execution (default: 4e9 instructions).
+	MaxSteps uint64
+	// DisableCache turns the cache simulator off (all accesses hit).
+	DisableCache bool
+	// Cache overrides the simulated cache geometry; zero values use the
+	// default 16 KiB, 32-byte-line, 4-way configuration.
+	CacheSizeBytes int
+	CacheLineBytes int
+	CacheWays      int
+}
+
+// Metrics summarizes one execution's dynamic behavior. Cycles is the
+// deterministic cost-model total used throughout the evaluation.
+type Metrics struct {
+	Instructions uint64
+	Cycles       int64
+
+	Dereferences    uint64
+	DynFieldLookups uint64
+	Dispatches      uint64
+	StaticCalls     uint64
+	Calls           uint64
+
+	HeapObjects    uint64
+	StackObjects   uint64
+	Arrays         uint64
+	BytesAllocated uint64
+
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+func metricsFrom(c vm.Counters) Metrics {
+	return Metrics{
+		Instructions:    c.Instructions,
+		Cycles:          c.Cycles,
+		Dereferences:    c.Dereferences,
+		DynFieldLookups: c.DynFieldLookups,
+		Dispatches:      c.Dispatches,
+		StaticCalls:     c.StaticCalls,
+		Calls:           c.Calls,
+		HeapObjects:     c.ObjectsAllocated,
+		StackObjects:    c.StackAllocated,
+		Arrays:          c.ArraysAllocated,
+		BytesAllocated:  c.BytesAllocated,
+		CacheHits:       c.CacheHits,
+		CacheMisses:     c.CacheMisses,
+	}
+}
+
+// Run executes the program.
+func (p *Program) Run(opts RunOptions) (Metrics, error) {
+	ro := pipeline.RunOptions{Out: opts.Output, MaxSteps: opts.MaxSteps}
+	if !opts.DisableCache {
+		cfg := cachesim.DefaultConfig
+		if opts.CacheSizeBytes > 0 {
+			cfg.SizeBytes = opts.CacheSizeBytes
+		}
+		if opts.CacheLineBytes > 0 {
+			cfg.LineBytes = opts.CacheLineBytes
+		}
+		if opts.CacheWays > 0 {
+			cfg.Ways = opts.CacheWays
+		}
+		ro.Cache = &cfg
+	}
+	counters, err := p.c.Run(ro)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return metricsFrom(counters), nil
+}
+
+// Mode returns the pipeline the program was compiled under.
+func (p *Program) Mode() Mode {
+	switch p.c.Mode {
+	case pipeline.ModeDirect:
+		return Direct
+	case pipeline.ModeBaseline:
+		return Baseline
+	default:
+		return Inline
+	}
+}
+
+// InlinedFields lists the fields (and array allocation sites) the
+// optimizer inline-allocated, e.g. "Rectangle.lower_left". Array sites
+// render as "arr@<site>[]". Empty for non-Inline modes.
+func (p *Program) InlinedFields() []string {
+	if p.c.Optimize == nil || p.c.Optimize.Decision == nil {
+		return nil
+	}
+	var out []string
+	for _, k := range p.c.Optimize.Decision.InlinedKeys() {
+		out = append(out, k.String())
+	}
+	return out
+}
+
+// RejectedFields maps each inlining candidate that was rejected to the
+// reason, mirroring the paper's §6.1 discussion.
+func (p *Program) RejectedFields() map[string]string {
+	if p.c.Optimize == nil || p.c.Optimize.Decision == nil {
+		return nil
+	}
+	out := make(map[string]string)
+	for k, why := range p.c.Optimize.Decision.Rejected {
+		out[k.String()] = why
+	}
+	return out
+}
+
+// CodeSize returns the executable program's IR instruction count (the
+// Figure 15 metric).
+func (p *Program) CodeSize() int { return p.c.CodeSize() }
+
+// ContoursPerMethod returns the analysis-sensitivity metric of Figure 16
+// (zero in Direct mode, which runs no analysis).
+func (p *Program) ContoursPerMethod() float64 {
+	if p.c.Analysis == nil {
+		return 0
+	}
+	return p.c.Analysis.Stats().ContoursPerMethod
+}
+
+// IR renders the executable program's intermediate representation.
+func (p *Program) IR() string { return p.c.Prog.String() }
+
+// AnalysisReport renders the contour analysis state (empty in Direct
+// mode).
+func (p *Program) AnalysisReport() string {
+	if p.c.Analysis == nil {
+		return ""
+	}
+	return p.c.Analysis.String()
+}
+
+// Benchmarks lists the bundled benchmark programs of the paper's
+// evaluation suite (§6): "oopack", "richards", "silo", "polyover-arr",
+// and "polyover-list".
+func Benchmarks() []string {
+	out := make([]string, 0, len(bench.Programs))
+	for _, p := range bench.Programs {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// BenchmarkSource returns the Mini-ICC source of a bundled benchmark at a
+// small, test-friendly workload size. Pass manual=true for the
+// hand-inlined variant (the paper's C++/G++ analog) where one exists.
+func BenchmarkSource(name string, manual bool) (string, error) {
+	p, err := bench.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	v := bench.VariantAuto
+	if manual {
+		v = bench.VariantManual
+	}
+	return p.Source(v, bench.ScaleMedium)
+}
+
+// Report renders a one-page summary of what the optimizer did.
+func (p *Program) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode: %s\n", p.Mode())
+	fmt.Fprintf(&b, "code size: %d instructions\n", p.CodeSize())
+	if p.c.Analysis != nil {
+		st := p.c.Analysis.Stats()
+		fmt.Fprintf(&b, "analysis: %d contours over %d methods (%.2f/method), %d object contours, %d passes\n",
+			st.MethodContours, st.ReachedFuncs, st.ContoursPerMethod, st.ObjContours, st.Passes)
+	}
+	if p.c.Optimize != nil {
+		fmt.Fprintf(&b, "clones added: %d; class versions: %d\n",
+			p.c.Optimize.CloneStats.ClonesAdded, p.c.Optimize.ClassVersions)
+		if d := p.c.Optimize.Decision; d != nil && p.Mode() == Inline {
+			fmt.Fprintf(&b, "inlined fields: %s\n", strings.Join(p.InlinedFields(), ", "))
+			rej := p.RejectedFields()
+			keys := make([]string, 0, len(rej))
+			for k := range rej {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "rejected %s: %s\n", k, rej[k])
+			}
+		}
+	}
+	return b.String()
+}
