@@ -1,0 +1,29 @@
+# Tier-1 gate: `make check` is what every PR must keep green (build,
+# vet, and the full test suite under the race detector — the engine's
+# worker pool makes concurrency a correctness feature, so -race is not
+# optional).
+
+GO ?= go
+
+.PHONY: check build test race vet bench figs
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Regenerate the full evaluation (figure-sized workloads).
+figs:
+	$(GO) run ./cmd/objbench -fig all -scale default -stats

@@ -1,24 +1,96 @@
 // Command objbench regenerates the paper's evaluation: every table and
 // figure of §6 plus the ablations documented in DESIGN.md.
 //
+// Figures are computed concurrently on a shared measurement engine
+// (internal/bench) that memoizes compilations and executions, so -fig all
+// builds each configuration exactly once; tables are printed in figure
+// order from submission-ordered rows, making the output byte-identical at
+// any -jobs setting.
+//
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|all] [-scale small|medium|default] [-json]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|all] [-scale small|medium|default]
+//	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"objinline/internal/bench"
 )
 
+// figure is one regenerable table: its -fig name, how to compute its rows
+// on the engine, and how to render them as text.
+type figure struct {
+	name    string
+	compute func(*bench.Engine, bench.Scale) (any, error)
+	print   func(io.Writer, any)
+}
+
+// figures lists every figure in the paper's reporting order (the order
+// tables are printed, whatever order they finish computing in).
+var figures = []figure{
+	{
+		name: "14",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig14(s) },
+		print:   func(w io.Writer, rows any) { bench.PrintFig14(w, rows.([]bench.Fig14Row)) },
+	},
+	{
+		name: "15",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig15(s) },
+		print:   func(w io.Writer, rows any) { bench.PrintFig15(w, rows.([]bench.Fig15Row)) },
+	},
+	{
+		name: "16",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig16(s) },
+		print:   func(w io.Writer, rows any) { bench.PrintFig16(w, rows.([]bench.Fig16Row)) },
+	},
+	{
+		name: "17",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig17(s) },
+		print:   func(w io.Writer, rows any) { bench.PrintFig17(w, rows.([]bench.Fig17Row)) },
+	},
+	{
+		name: "A1",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.AblationLayout(s) },
+		print: func(w io.Writer, rows any) {
+			fmt.Fprintln(w, "Ablation A1: inlined-array layout (OOPACK)")
+			for _, r := range rows.([]bench.AblationLayoutRow) {
+				fmt.Fprintf(w, "  %-13s cycles=%d cache misses=%d\n", r.Layout, r.Cycles, r.CacheMisses)
+			}
+		},
+	},
+	{
+		name: "A2",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.AblationCostModel(s) },
+		print:   func(w io.Writer, rows any) { bench.PrintAblationCost(w, rows.([]bench.AblationCostRow)) },
+	},
+	{
+		name: "A3",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.AblationTagDepth(s) },
+		print: func(w io.Writer, rows any) {
+			fmt.Fprintln(w, "Ablation A3: tag-depth cap vs fields inlined")
+			for _, r := range rows.([]bench.AblationTagDepthRow) {
+				fmt.Fprintf(w, "  %-14s depth=%d inlined=%d\n", r.Program, r.Depth, r.Inlined)
+			}
+		},
+	},
+}
+
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
+	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	stats := flag.Bool("stats", false, "report engine cache statistics on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -33,128 +105,73 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
 
-	run := func(name string) bool { return *fig == "all" || *fig == name }
-	ranAny := false
+	var wanted []figure
+	for _, f := range figures {
+		if *fig == "all" || *fig == f.name {
+			wanted = append(wanted, f)
+		}
+	}
+	if len(wanted) == 0 {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	engine := bench.NewEngine(*jobs)
+
+	// Compute every requested figure concurrently — the engine bounds the
+	// parallelism and deduplicates shared configurations — then print in
+	// figure order.
+	results, err := bench.Collect(len(wanted), func(i int) (any, error) {
+		return wanted[i].compute(engine, scale)
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	if *asJSON {
 		out := map[string]any{}
-		collect := func(name string, rows any, err error) {
-			if err != nil {
-				fatal(err)
-			}
-			out["fig"+name] = rows
-			ranAny = true
-		}
-		if run("14") {
-			rows, err := bench.Fig14(scale)
-			collect("14", rows, err)
-		}
-		if run("15") {
-			rows, err := bench.Fig15(scale)
-			collect("15", rows, err)
-		}
-		if run("16") {
-			rows, err := bench.Fig16(scale)
-			collect("16", rows, err)
-		}
-		if run("17") {
-			rows, err := bench.Fig17(scale)
-			collect("17", rows, err)
-		}
-		if run("A1") {
-			rows, err := bench.AblationLayout(scale)
-			collect("A1", rows, err)
-		}
-		if run("A2") {
-			rows, err := bench.AblationCostModel(scale)
-			collect("A2", rows, err)
-		}
-		if run("A3") {
-			rows, err := bench.AblationTagDepth(scale)
-			collect("A3", rows, err)
-		}
-		if !ranAny {
-			fatal(fmt.Errorf("unknown figure %q", *fig))
+		for i, f := range wanted {
+			out["fig"+f.name] = results[i]
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		for i, f := range wanted {
+			f.print(os.Stdout, results[i])
+			fmt.Println()
+		}
 	}
 
-	if run("14") {
-		ranAny = true
-		rows, err := bench.Fig14(scale)
+	if *stats {
+		s := engine.Stats()
+		fmt.Fprintf(os.Stderr, "objbench: jobs=%d compiles=%d (hits %d) runs=%d (hits %d)\n",
+			engine.Jobs(), s.Compiles, s.CompileHits, s.Runs, s.RunHits)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
 		if err != nil {
 			fatal(err)
 		}
-		bench.PrintFig14(os.Stdout, rows)
-		fmt.Println()
-	}
-	if run("15") {
-		ranAny = true
-		rows, err := bench.Fig15(scale)
-		if err != nil {
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
-		bench.PrintFig15(os.Stdout, rows)
-		fmt.Println()
-	}
-	if run("16") {
-		ranAny = true
-		rows, err := bench.Fig16(scale)
-		if err != nil {
-			fatal(err)
-		}
-		bench.PrintFig16(os.Stdout, rows)
-		fmt.Println()
-	}
-	if run("17") {
-		ranAny = true
-		rows, err := bench.Fig17(scale)
-		if err != nil {
-			fatal(err)
-		}
-		bench.PrintFig17(os.Stdout, rows)
-		fmt.Println()
-	}
-	if run("A1") {
-		ranAny = true
-		rows, err := bench.AblationLayout(scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("Ablation A1: inlined-array layout (OOPACK)")
-		for _, r := range rows {
-			fmt.Printf("  %-13s cycles=%d cache misses=%d\n", r.Layout, r.Cycles, r.CacheMisses)
-		}
-		fmt.Println()
-	}
-	if run("A2") {
-		ranAny = true
-		rows, err := bench.AblationCostModel(scale)
-		if err != nil {
-			fatal(err)
-		}
-		bench.PrintAblationCost(os.Stdout, rows)
-		fmt.Println()
-	}
-	if run("A3") {
-		ranAny = true
-		rows, err := bench.AblationTagDepth(scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("Ablation A3: tag-depth cap vs fields inlined")
-		for _, r := range rows {
-			fmt.Printf("  %-14s depth=%d inlined=%d\n", r.Program, r.Depth, r.Inlined)
-		}
-		fmt.Println()
-	}
-	if !ranAny {
-		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
 }
 

@@ -24,7 +24,11 @@ type Options struct {
 	TagDepth int
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with zero-valued knobs replaced by their
+// defaults. Analyze applies it internally; callers that key caches on
+// Options should apply it too, so that an explicit default (TagDepth 3)
+// and an implicit one (TagDepth 0) memoize as the same configuration.
+func (o Options) WithDefaults() Options {
 	if o.MaxPasses == 0 {
 		o.MaxPasses = 8
 	}
@@ -59,7 +63,7 @@ type Result struct {
 func Analyze(prog *ir.Program, opts Options) *Result {
 	a := &analyzer{
 		prog:       prog,
-		opts:       opts.withDefaults(),
+		opts:       opts.WithDefaults(),
 		policies:   make(map[*ir.Func]*fnPolicy),
 		classSplit: make(map[*ir.Class]bool),
 		arrSplit:   make(map[int]bool),

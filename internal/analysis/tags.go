@@ -232,11 +232,23 @@ func topOf(t *Tag) *Tag {
 	return sharedTop
 }
 
-// Union adds all of o, reporting change. Iteration is in sorted tag order
-// so that which members establish themselves before the saturation cap is
-// deterministic.
+// Union adds all of o, reporting change. When the union could saturate,
+// iteration is in sorted tag order so that which members establish
+// themselves before the cap is deterministic; below the cap the result is
+// the exact set union, so the cheaper unordered walk gives the same set.
 func (s *TagSet) Union(o *TagSet) bool {
+	if s == o || len(o.m) == 0 {
+		return false
+	}
 	changed := false
+	if len(s.m)+len(o.m) <= maxTagSet {
+		for t := range o.m {
+			if s.Add(t) {
+				changed = true
+			}
+		}
+		return changed
+	}
 	for _, t := range o.List() {
 		if s.Add(t) {
 			changed = true

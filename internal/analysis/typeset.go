@@ -73,17 +73,36 @@ func (t *TypeSet) AddArr(ac *ArrContour) bool {
 	return true
 }
 
-// Union adds all of o into t, reporting whether t changed.
+// Union adds all of o into t, reporting whether t changed. This is the
+// analysis fixpoint's innermost operation, so the common shapes are
+// fast-pathed: aliased or empty sources return without touching the maps,
+// and a first union into an empty destination sizes the maps to fit the
+// source instead of growing bucket by bucket.
 func (t *TypeSet) Union(o *TypeSet) bool {
+	if t == o || o.IsEmpty() {
+		return false
+	}
 	changed := t.AddPrim(o.Prims)
-	for oc := range o.Objs {
-		if t.AddObj(oc) {
-			changed = true
+	if len(o.Objs) > 0 {
+		if t.Objs == nil {
+			t.Objs = make(map[*ObjContour]struct{}, len(o.Objs))
+		}
+		for oc := range o.Objs {
+			if _, ok := t.Objs[oc]; !ok {
+				t.Objs[oc] = struct{}{}
+				changed = true
+			}
 		}
 	}
-	for ac := range o.Arrs {
-		if t.AddArr(ac) {
-			changed = true
+	if len(o.Arrs) > 0 {
+		if t.Arrs == nil {
+			t.Arrs = make(map[*ArrContour]struct{}, len(o.Arrs))
+		}
+		for ac := range o.Arrs {
+			if _, ok := t.Arrs[ac]; !ok {
+				t.Arrs[ac] = struct{}{}
+				changed = true
+			}
 		}
 	}
 	return changed
@@ -161,6 +180,9 @@ type VarState struct {
 
 // Merge unions o into s, reporting change.
 func (s *VarState) Merge(o *VarState) bool {
+	if s == o {
+		return false
+	}
 	c1 := s.TS.Union(&o.TS)
 	c2 := s.Tags.Union(&o.Tags)
 	return c1 || c2

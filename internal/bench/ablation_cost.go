@@ -6,7 +6,6 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"objinline/internal/cachesim"
 	"objinline/internal/pipeline"
 	"objinline/internal/vm"
 )
@@ -41,55 +40,35 @@ func costVariants() []costVariant {
 	}
 }
 
-// AblationCostModel measures every benchmark's speedup under each variant.
-func AblationCostModel(scale Scale) ([]AblationCostRow, error) {
+// AblationCostModel measures every benchmark's speedup under each cost
+// variant. A cost model only reweights the charge events of an execution
+// — it never changes which events occur — so each (program, mode) pair is
+// executed once under the default model and every variant's cycle total
+// is an exact replay of the recorded event vector (vm.CostDim), turning
+// 6×5×2 executions into 5×2 plus arithmetic.
+func (e *Engine) AblationCostModel(scale Scale) ([]AblationCostRow, error) {
+	modes := []pipeline.Mode{pipeline.ModeBaseline, pipeline.ModeInline}
+	ms, err := Collect(len(Programs)*len(modes), func(i int) (*Measurement, error) {
+		p, mode := Programs[i/len(modes)], modes[i%len(modes)]
+		return e.Measure(p, VariantAuto, scale, pipeline.Config{Mode: mode})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationCostRow
 	for _, v := range costVariants() {
 		cost := vm.DefaultCostModel
 		v.mut(&cost)
-		for _, p := range Programs {
-			speedup, base, inl, err := speedupWith(p, scale, &cost)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", p.Name, v.name, err)
-			}
+		for i, p := range Programs {
+			base := ms[i*2].CyclesUnder(&cost)
+			inl := ms[i*2+1].CyclesUnder(&cost)
 			rows = append(rows, AblationCostRow{
 				Variant: v.name, Program: p.Name,
-				Speedup: speedup, Baseline: base, Inline: inl,
+				Speedup: float64(base) / float64(inl), Baseline: base, Inline: inl,
 			})
 		}
 	}
 	return rows, nil
-}
-
-func speedupWith(p Program, scale Scale, cost *vm.CostModel) (float64, int64, int64, error) {
-	measure := func(mode pipeline.Mode) (int64, error) {
-		src, err := p.Source(VariantAuto, scale)
-		if err != nil {
-			return 0, err
-		}
-		c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: mode})
-		if err != nil {
-			return 0, err
-		}
-		counters, err := c.Run(pipeline.RunOptions{
-			Cache:    &cachesim.DefaultConfig,
-			Cost:     cost,
-			MaxSteps: 2_000_000_000,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return counters.Cycles, nil
-	}
-	base, err := measure(pipeline.ModeBaseline)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	inl, err := measure(pipeline.ModeInline)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	return float64(base) / float64(inl), base, inl, nil
 }
 
 // PrintAblationCost renders the A2 table grouped by variant.

@@ -115,6 +115,13 @@ const (
 	VariantManual                // hand-inlined (the G++ analog)
 )
 
+func (v Variant) String() string {
+	if v == VariantManual {
+		return "manual"
+	}
+	return "auto"
+}
+
 // Scale selects the workload size.
 type Scale int
 
@@ -124,6 +131,16 @@ const (
 	ScaleMedium
 	ScaleDefault
 )
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	}
+	return "default"
+}
 
 // Source loads and instantiates the benchmark source.
 func (p Program) Source(v Variant, s Scale) (string, error) {
@@ -156,7 +173,15 @@ func (p Program) Source(v Variant, s Scale) (string, error) {
 	return src, nil
 }
 
-// Measurement is one compiled-and-run configuration.
+// RunMaxSteps bounds one benchmark execution. The largest default-scale
+// configuration retires well under 10^8 VM instructions, so two billion
+// is a pure runaway guard (an interpreter or transformation bug looping
+// forever), not a budget a legitimate workload can approach. Hitting it
+// fails the measurement with the offending configuration named.
+const RunMaxSteps = 2_000_000_000
+
+// Measurement is one compiled-and-run configuration, measured under the
+// default cost model.
 type Measurement struct {
 	Program  string
 	Variant  Variant
@@ -166,25 +191,37 @@ type Measurement struct {
 	Counters vm.Counters
 }
 
-// RunConfig compiles and executes one benchmark configuration with the
-// default cost model and cache simulator.
-func RunConfig(p Program, v Variant, s Scale, cfg pipeline.Config) (*Measurement, error) {
+// CyclesUnder replays the measurement's charge events against a
+// different cost model — exactly the cycles a fresh execution under that
+// model would report, without re-running (see vm.Counters.CyclesUnder).
+func (m *Measurement) CyclesUnder(cost *vm.CostModel) int64 {
+	return m.Counters.CyclesUnder(cost)
+}
+
+// compileConfig compiles one benchmark configuration.
+func compileConfig(p Program, v Variant, s Scale, cfg pipeline.Config) (*pipeline.Compiled, error) {
 	src, err := p.Source(v, s)
 	if err != nil {
 		return nil, err
 	}
 	c, err := pipeline.Compile(p.Name+".icc", src, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s/%v: %w", p.Name, cfg.Mode, err)
+		return nil, fmt.Errorf("%s/%s/%s/%s: %w", p.Name, v, cfg.Mode, s, err)
 	}
+	return c, nil
+}
+
+// runCompiled executes a compiled configuration with the default cost
+// model and cache simulator.
+func runCompiled(p Program, v Variant, s Scale, cfg pipeline.Config, c *pipeline.Compiled) (*Measurement, error) {
 	var out strings.Builder
 	counters, err := c.Run(pipeline.RunOptions{
 		Out:      &out,
 		Cache:    &cachesim.DefaultConfig,
-		MaxSteps: 2_000_000_000,
+		MaxSteps: RunMaxSteps,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%s/%v run: %w", p.Name, cfg.Mode, err)
+		return nil, fmt.Errorf("%s/%s/%s/%s run: %w", p.Name, v, cfg.Mode, s, err)
 	}
 	return &Measurement{
 		Program:  p.Name,
@@ -194,4 +231,16 @@ func RunConfig(p Program, v Variant, s Scale, cfg pipeline.Config) (*Measurement
 		Output:   out.String(),
 		Counters: counters,
 	}, nil
+}
+
+// RunConfig compiles and executes one benchmark configuration with the
+// default cost model and cache simulator. It is the uncached single-shot
+// path; harness code should go through an Engine, which memoizes both
+// stages.
+func RunConfig(p Program, v Variant, s Scale, cfg pipeline.Config) (*Measurement, error) {
+	c, err := compileConfig(p, v, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runCompiled(p, v, s, cfg, c)
 }

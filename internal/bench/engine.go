@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"objinline/internal/analysis"
+	"objinline/internal/core"
+	"objinline/internal/pipeline"
+)
+
+// CompileKey identifies one compilation configuration up to result
+// equality: two configurations with the same key compile to the same
+// program and, run under the default cost model, measure the same
+// counters. Analysis options are stored default-normalized so an
+// explicit TagDepth 3 and an implicit one share an entry.
+type CompileKey struct {
+	Program  string
+	Variant  Variant
+	Scale    Scale
+	Mode     pipeline.Mode
+	Layout   core.Layout
+	Analysis analysis.Options
+}
+
+func (k CompileKey) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s/depth%d",
+		k.Program, k.Variant, k.Scale, k.Mode, k.Layout, k.Analysis.TagDepth)
+}
+
+// NewCompileKey normalizes a configuration into its cache key.
+func NewCompileKey(p Program, v Variant, s Scale, cfg pipeline.Config) CompileKey {
+	opts := cfg.Analysis
+	// The pipeline forces Tags from the mode; mirror that here so two
+	// configs differing only in an ignored Tags flag share a key.
+	opts.Tags = cfg.Mode == pipeline.ModeInline
+	return CompileKey{
+		Program:  p.Name,
+		Variant:  v,
+		Scale:    s,
+		Mode:     cfg.Mode,
+		Layout:   cfg.ArrayLayout,
+		Analysis: opts.WithDefaults(),
+	}
+}
+
+// Stats counts the engine's cache traffic. Hits include waiting on an
+// in-flight computation (single-flight coalescing), so Compiles and Runs
+// are exactly the number of configurations built, no matter how many
+// figures ask for them or how many workers run.
+type Stats struct {
+	Compiles    uint64 // compilations actually performed
+	CompileHits uint64 // compile requests served from cache or in-flight
+	Runs        uint64 // executions actually performed
+	RunHits     uint64 // run requests served from cache or in-flight
+}
+
+// inflight is one single-flight cache entry: the first requester computes
+// while later ones wait on done.
+type inflight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Engine executes benchmark configurations concurrently, memoizing
+// compilations and executions behind single-flight caches. All Fig*
+// regenerators share one engine so that `-fig all` compiles and runs each
+// configuration exactly once; result collection is submission-ordered
+// (see Collect), so figure output is byte-identical at any worker count.
+type Engine struct {
+	jobs int
+	sem  chan struct{}
+
+	mu       sync.Mutex
+	compiles map[CompileKey]*inflight[*pipeline.Compiled]
+	runs     map[CompileKey]*inflight[*Measurement]
+	stats    Stats
+}
+
+// NewEngine builds an engine with the given worker-pool size; jobs <= 0
+// means GOMAXPROCS.
+func NewEngine(jobs int) *Engine {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		jobs:     jobs,
+		sem:      make(chan struct{}, jobs),
+		compiles: make(map[CompileKey]*inflight[*pipeline.Compiled]),
+		runs:     make(map[CompileKey]*inflight[*Measurement]),
+	}
+}
+
+// Jobs returns the worker-pool size.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// acquire takes a worker slot; computations hold one only while doing CPU
+// work, never while waiting on another in-flight entry, so the pool
+// cannot deadlock.
+func (e *Engine) acquire() { e.sem <- struct{}{} }
+func (e *Engine) release() { <-e.sem }
+
+// Compile returns the memoized compilation of one configuration,
+// compiling it (at most once, under a worker slot) on first request.
+func (e *Engine) Compile(p Program, v Variant, s Scale, cfg pipeline.Config) (*pipeline.Compiled, error) {
+	key := NewCompileKey(p, v, s, cfg)
+	e.mu.Lock()
+	if f, ok := e.compiles[key]; ok {
+		e.stats.CompileHits++
+		e.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &inflight[*pipeline.Compiled]{done: make(chan struct{})}
+	e.compiles[key] = f
+	e.stats.Compiles++
+	e.mu.Unlock()
+
+	e.acquire()
+	f.val, f.err = compileConfig(p, v, s, cfg)
+	e.release()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Measure returns the memoized execution of one configuration under the
+// default cost model and cache simulator, compiling and running it (each
+// at most once) on first request. Measurements under a different cost
+// model do not need a fresh execution: replay the returned counters with
+// Measurement.CyclesUnder.
+func (e *Engine) Measure(p Program, v Variant, s Scale, cfg pipeline.Config) (*Measurement, error) {
+	key := NewCompileKey(p, v, s, cfg)
+	e.mu.Lock()
+	if f, ok := e.runs[key]; ok {
+		e.stats.RunHits++
+		e.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &inflight[*Measurement]{done: make(chan struct{})}
+	e.runs[key] = f
+	e.stats.Runs++
+	e.mu.Unlock()
+
+	// Resolve the compilation first — Compile manages its own worker
+	// slot, so no slot is held while (possibly) waiting on it.
+	c, err := e.Compile(p, v, s, cfg)
+	if err != nil {
+		f.err = err
+		close(f.done)
+		return nil, err
+	}
+	e.acquire()
+	f.val, f.err = runCompiled(p, v, s, cfg, c)
+	e.release()
+	close(f.done)
+	return f.val, f.err
+}

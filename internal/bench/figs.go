@@ -21,32 +21,27 @@ type Fig14Row struct {
 }
 
 // Fig14 computes the inlinable-field counts for every benchmark.
-func Fig14(scale Scale) ([]Fig14Row, error) {
-	var rows []Fig14Row
-	for _, p := range Programs {
-		src, err := p.Source(VariantAuto, scale)
+func (e *Engine) Fig14(scale Scale) ([]Fig14Row, error) {
+	return Collect(len(Programs), func(i int) (Fig14Row, error) {
+		p := Programs[i]
+		c, err := e.Compile(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeInline})
 		if err != nil {
-			return nil, err
-		}
-		c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return Fig14Row{}, err
 		}
 		d := c.Optimize.Decision
 		rej := make(map[string]string)
 		for k, why := range d.Rejected {
 			rej[k.String()] = why
 		}
-		rows = append(rows, Fig14Row{
+		return Fig14Row{
 			Program:   p.Name,
 			Total:     len(d.ObjectFields),
 			Ideal:     p.IdealFields,
 			Declared:  p.DeclaredCxx,
 			Automatic: len(d.Inlined),
 			Rejected:  rej,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig15Row is one benchmark's generated-code sizes (paper Figure 15, in IR
@@ -61,25 +56,20 @@ type Fig15Row struct {
 }
 
 // Fig15 measures post-optimization code size.
-func Fig15(scale Scale) ([]Fig15Row, error) {
+func (e *Engine) Fig15(scale Scale) ([]Fig15Row, error) {
+	modes := []pipeline.Mode{pipeline.ModeDirect, pipeline.ModeBaseline, pipeline.ModeInline}
+	// One task per (program, mode) so every compilation can run on its
+	// own worker.
+	cs, err := Collect(len(Programs)*len(modes), func(i int) (*pipeline.Compiled, error) {
+		p, mode := Programs[i/len(modes)], modes[i%len(modes)]
+		return e.Compile(p, VariantAuto, scale, pipeline.Config{Mode: mode})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig15Row
-	for _, p := range Programs {
-		src, err := p.Source(VariantAuto, scale)
-		if err != nil {
-			return nil, err
-		}
-		direct, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeDirect})
-		if err != nil {
-			return nil, err
-		}
-		base, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeBaseline})
-		if err != nil {
-			return nil, err
-		}
-		inl, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range Programs {
+		direct, base, inl := cs[i*3], cs[i*3+1], cs[i*3+2]
 		rows = append(rows, Fig15Row{
 			Program:        p.Name,
 			Direct:         direct.CodeSize(),
@@ -103,28 +93,24 @@ type Fig16Row struct {
 }
 
 // Fig16 measures contours/method with and without the inlining analyses.
-func Fig16(scale Scale) ([]Fig16Row, error) {
+func (e *Engine) Fig16(scale Scale) ([]Fig16Row, error) {
+	modes := []pipeline.Mode{pipeline.ModeBaseline, pipeline.ModeInline}
+	cs, err := Collect(len(Programs)*len(modes), func(i int) (*pipeline.Compiled, error) {
+		p, mode := Programs[i/len(modes)], modes[i%len(modes)]
+		return e.Compile(p, VariantAuto, scale, pipeline.Config{Mode: mode})
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig16Row
-	for _, p := range Programs {
-		src, err := p.Source(VariantAuto, scale)
-		if err != nil {
-			return nil, err
-		}
-		base, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeBaseline})
-		if err != nil {
-			return nil, err
-		}
-		inl, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
-		if err != nil {
-			return nil, err
-		}
-		b, i := base.Analysis.Stats(), inl.Analysis.Stats()
+	for i, p := range Programs {
+		b, in := cs[i*2].Analysis.Stats(), cs[i*2+1].Analysis.Stats()
 		rows = append(rows, Fig16Row{
 			Program:          p.Name,
 			BaselineContours: b.ContoursPerMethod,
-			InlineContours:   i.ContoursPerMethod,
+			InlineContours:   in.ContoursPerMethod,
 			BaselinePasses:   b.Passes,
-			InlinePasses:     i.Passes,
+			InlinePasses:     in.Passes,
 		})
 	}
 	return rows, nil
@@ -150,17 +136,28 @@ type Fig17Row struct {
 }
 
 // Fig17 measures performance for every benchmark at the given scale.
-func Fig17(scale Scale) ([]Fig17Row, error) {
+func (e *Engine) Fig17(scale Scale) ([]Fig17Row, error) {
+	// Three potential executions per program: baseline, inline, manual.
+	ms, err := Collect(len(Programs)*3, func(i int) (*Measurement, error) {
+		p := Programs[i/3]
+		switch i % 3 {
+		case 0:
+			return e.Measure(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeBaseline})
+		case 1:
+			return e.Measure(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeInline})
+		default:
+			if p.ManualFile == "" {
+				return nil, nil
+			}
+			return e.Measure(p, VariantManual, scale, pipeline.Config{Mode: pipeline.ModeBaseline})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig17Row
-	for _, p := range Programs {
-		base, err := RunConfig(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeBaseline})
-		if err != nil {
-			return nil, err
-		}
-		inl, err := RunConfig(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeInline})
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range Programs {
+		base, inl, man := ms[i*3], ms[i*3+1], ms[i*3+2]
 		row := Fig17Row{
 			Program:        p.Name,
 			BaselineCycles: base.Counters.Cycles,
@@ -172,11 +169,7 @@ func Fig17(scale Scale) ([]Fig17Row, error) {
 			BaselineMisses: base.Counters.CacheMisses,
 			InlineMisses:   inl.Counters.CacheMisses,
 		}
-		if p.ManualFile != "" {
-			man, err := RunConfig(p, VariantManual, scale, pipeline.Config{Mode: pipeline.ModeBaseline})
-			if err != nil {
-				return nil, err
-			}
+		if man != nil {
 			row.ManualCycles = man.Counters.Cycles
 			row.ManualNorm = float64(man.Counters.Cycles) / float64(row.BaselineCycles)
 		}
@@ -196,27 +189,26 @@ type AblationLayoutRow struct {
 }
 
 // AblationLayout runs OOPACK under both array layouts.
-func AblationLayout(scale Scale) ([]AblationLayoutRow, error) {
+func (e *Engine) AblationLayout(scale Scale) ([]AblationLayoutRow, error) {
 	p, err := ByName("oopack")
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationLayoutRow
-	for _, layout := range []core.Layout{core.LayoutObjectOrder, core.LayoutParallel} {
-		m, err := RunConfig(p, VariantAuto, scale, pipeline.Config{
+	layouts := []core.Layout{core.LayoutObjectOrder, core.LayoutParallel}
+	return Collect(len(layouts), func(i int) (AblationLayoutRow, error) {
+		m, err := e.Measure(p, VariantAuto, scale, pipeline.Config{
 			Mode:        pipeline.ModeInline,
-			ArrayLayout: layout,
+			ArrayLayout: layouts[i],
 		})
 		if err != nil {
-			return nil, err
+			return AblationLayoutRow{}, err
 		}
-		rows = append(rows, AblationLayoutRow{
-			Layout:      layout.String(),
+		return AblationLayoutRow{
+			Layout:      layouts[i].String(),
 			Cycles:      m.Counters.Cycles,
 			CacheMisses: m.Counters.CacheMisses,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationTagDepthRow reports inlining decisions at different tag-depth
@@ -228,29 +220,23 @@ type AblationTagDepthRow struct {
 }
 
 // AblationTagDepth sweeps the tag-depth cap.
-func AblationTagDepth(scale Scale) ([]AblationTagDepthRow, error) {
-	var rows []AblationTagDepthRow
-	for _, p := range Programs {
-		src, err := p.Source(VariantAuto, scale)
+func (e *Engine) AblationTagDepth(scale Scale) ([]AblationTagDepthRow, error) {
+	const maxDepth = 4
+	return Collect(len(Programs)*maxDepth, func(i int) (AblationTagDepthRow, error) {
+		p, depth := Programs[i/maxDepth], i%maxDepth+1
+		c, err := e.Compile(p, VariantAuto, scale, pipeline.Config{
+			Mode:     pipeline.ModeInline,
+			Analysis: analysisOptionsWithDepth(depth),
+		})
 		if err != nil {
-			return nil, err
+			return AblationTagDepthRow{}, fmt.Errorf("%s depth %d: %w", p.Name, depth, err)
 		}
-		for depth := 1; depth <= 4; depth++ {
-			c, err := pipeline.Compile(p.Name, src, pipeline.Config{
-				Mode:     pipeline.ModeInline,
-				Analysis: analysisOptionsWithDepth(depth),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s depth %d: %w", p.Name, depth, err)
-			}
-			rows = append(rows, AblationTagDepthRow{
-				Program: p.Name,
-				Depth:   depth,
-				Inlined: len(c.Optimize.Decision.Inlined),
-			})
-		}
-	}
-	return rows, nil
+		return AblationTagDepthRow{
+			Program: p.Name,
+			Depth:   depth,
+			Inlined: len(c.Optimize.Decision.Inlined),
+		}, nil
+	})
 }
 
 // PrintFig14 renders the Figure 14 table.
@@ -314,13 +300,9 @@ func PrintFig17(w io.Writer, rows []Fig17Row) {
 }
 
 // PrintInlinedFields dumps the decision details used in EXPERIMENTS.md.
-func PrintInlinedFields(w io.Writer, scale Scale) error {
+func (e *Engine) PrintInlinedFields(w io.Writer, scale Scale) error {
 	for _, p := range Programs {
-		src, err := p.Source(VariantAuto, scale)
-		if err != nil {
-			return err
-		}
-		c, err := pipeline.Compile(p.Name, src, pipeline.Config{Mode: pipeline.ModeInline})
+		c, err := e.Compile(p, VariantAuto, scale, pipeline.Config{Mode: pipeline.ModeInline})
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,7 @@ import (
 // TestFig14Invariants regenerates the Figure 14 rows at the small scale
 // and checks the paper's structural claims hold at any scale.
 func TestFig14Invariants(t *testing.T) {
-	rows, err := bench.Fig14(bench.ScaleSmall)
+	rows, err := bench.NewEngine(0).Fig14(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestFig14Invariants(t *testing.T) {
 // TestFig15NoBlowup checks the paper's §6.2.1 claim: inlining does not
 // appreciably expand generated code.
 func TestFig15NoBlowup(t *testing.T) {
-	rows, err := bench.Fig15(bench.ScaleSmall)
+	rows, err := bench.NewEngine(0).Fig15(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestFig15NoBlowup(t *testing.T) {
 // TestFig16Invariants checks that the inlining analyses never need fewer
 // contours than the baseline, and that richards pays a real premium.
 func TestFig16Invariants(t *testing.T) {
-	rows, err := bench.Fig16(bench.ScaleSmall)
+	rows, err := bench.NewEngine(0).Fig16(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFig16Invariants(t *testing.T) {
 // TestFig17SmallScaleDirections checks Fig17's directions at the small
 // scale (magnitudes are only meaningful at the default scale).
 func TestFig17SmallScaleDirections(t *testing.T) {
-	rows, err := bench.Fig17(bench.ScaleSmall)
+	rows, err := bench.NewEngine(0).Fig17(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +106,11 @@ func TestFig17SmallScaleDirections(t *testing.T) {
 // TestFig17Deterministic: two runs must produce identical cycle counts
 // (the whole measurement stack is deterministic).
 func TestFig17Deterministic(t *testing.T) {
-	a, err := bench.Fig17(bench.ScaleSmall)
+	a, err := bench.NewEngine(0).Fig17(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := bench.Fig17(bench.ScaleSmall)
+	b, err := bench.NewEngine(0).Fig17(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFig17Deterministic(t *testing.T) {
 
 // TestPrintersProduceTables smoke-tests the table renderers.
 func TestPrintersProduceTables(t *testing.T) {
-	r14, err := bench.Fig14(bench.ScaleSmall)
+	r14, err := bench.NewEngine(0).Fig14(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestPrintersProduceTables(t *testing.T) {
 		}
 	}
 	var b2 strings.Builder
-	if err := bench.PrintInlinedFields(&b2, bench.ScaleSmall); err != nil {
+	if err := bench.NewEngine(0).PrintInlinedFields(&b2, bench.ScaleSmall); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b2.String(), "silo: inlined") {
@@ -147,7 +147,7 @@ func TestPrintersProduceTables(t *testing.T) {
 
 // TestAblationTagDepthMonotone: deeper tags never inline fewer fields.
 func TestAblationTagDepthMonotone(t *testing.T) {
-	rows, err := bench.AblationTagDepth(bench.ScaleSmall)
+	rows, err := bench.NewEngine(0).AblationTagDepth(bench.ScaleSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestAblationTagDepthMonotone(t *testing.T) {
 // TestAblationCostModelDirections checks that inlining keeps winning under
 // every cost-model variant (the substitution-robustness claim of A2).
 func TestAblationCostModelDirections(t *testing.T) {
-	rows, err := bench.AblationCostModel(bench.ScaleMedium)
+	rows, err := bench.NewEngine(0).AblationCostModel(bench.ScaleMedium)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,31 @@
+package bench
+
+import "sync"
+
+// Collect fans fn(0..n-1) out across goroutines and returns the results
+// in submission order, which is what keeps figure output deterministic:
+// workers may finish in any order, but rows are assembled by index. The
+// engine's worker pool bounds the actual parallelism — goroutines hold a
+// slot only while compiling or executing, so n may far exceed the pool.
+//
+// All tasks run to completion even on failure; the error reported is the
+// lowest-indexed one, again independent of scheduling.
+func Collect[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -22,6 +22,52 @@ type CostModel struct {
 	Builtin       int64 // per builtin invocation
 }
 
+// CostDim indexes one dimension of the cost model. The VM counts events
+// per dimension (Counters.CostEvents) as it charges them, which makes
+// total cycles a dot product of the event vector and the model's
+// constants — so a run measured once can be *replayed* under any other
+// cost model without re-executing (see Counters.CyclesUnder).
+type CostDim int
+
+// Cost-model dimensions, one per CostModel field.
+const (
+	DimBase CostDim = iota
+	DimArith
+	DimFieldAccess
+	DimDynFieldExtra
+	DimArrayAccess
+	DimDispatch
+	DimStaticCall
+	DimCallFrame
+	DimAllocBase
+	DimAllocPerSlot
+	DimStackAlloc
+	DimCacheHit
+	DimCacheMiss
+	DimBuiltin
+	NumCostDims
+)
+
+// Vec returns the model's constants indexed by dimension.
+func (c *CostModel) Vec() [NumCostDims]int64 {
+	return [NumCostDims]int64{
+		DimBase:          c.Base,
+		DimArith:         c.Arith,
+		DimFieldAccess:   c.FieldAccess,
+		DimDynFieldExtra: c.DynFieldExtra,
+		DimArrayAccess:   c.ArrayAccess,
+		DimDispatch:      c.Dispatch,
+		DimStaticCall:    c.StaticCall,
+		DimCallFrame:     c.CallFrame,
+		DimAllocBase:     c.AllocBase,
+		DimAllocPerSlot:  c.AllocPerSlot,
+		DimStackAlloc:    c.StackAlloc,
+		DimCacheHit:      c.CacheHit,
+		DimCacheMiss:     c.CacheMiss,
+		DimBuiltin:       c.Builtin,
+	}
+}
+
 // DefaultCostModel is used by all experiments unless overridden.
 var DefaultCostModel = CostModel{
 	Base:          1,
@@ -61,4 +107,25 @@ type Counters struct {
 
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// CostEvents counts, per cost-model dimension, how many times that
+	// dimension was charged (for DimAllocPerSlot, the number of slots).
+	// Cycles is always the dot product of this vector and the run's cost
+	// model, which is what CyclesUnder exploits.
+	CostEvents [NumCostDims]uint64
+}
+
+// CyclesUnder replays the run's charge events against a different cost
+// model and returns the cycle total that model would have produced. The
+// event stream of an execution is independent of the cost constants (the
+// program path, allocations, and cache behaviour do not consult them), so
+// the replayed total is exactly what a fresh run under model would
+// measure — at none of the cost.
+func (c *Counters) CyclesUnder(model *CostModel) int64 {
+	vec := model.Vec()
+	var total int64
+	for d, n := range c.CostEvents {
+		total += int64(n) * vec[d]
+	}
+	return total
 }

@@ -29,6 +29,7 @@ type Machine struct {
 	prog    *ir.Program
 	out     io.Writer
 	cost    CostModel
+	costVec [NumCostDims]int64
 	cache   *cachesim.Cache
 	maxStep uint64
 
@@ -64,6 +65,7 @@ func New(prog *ir.Program, opts Options) *Machine {
 	if m.maxStep == 0 {
 		m.maxStep = DefaultMaxSteps
 	}
+	m.costVec = m.cost.Vec()
 	return m
 }
 
@@ -113,21 +115,24 @@ func (m *Machine) Run() (c Counters, err error) {
 	return m.counts, nil
 }
 
-// charge adds cycles.
-func (m *Machine) charge(n int64) { m.counts.Cycles += n }
+// charge records n events on cost dimension d and adds their cycles.
+func (m *Machine) charge(d CostDim, n int64) {
+	m.counts.CostEvents[d] += uint64(n)
+	m.counts.Cycles += n * m.costVec[d]
+}
 
 // mem simulates one memory access at addr and charges its cost.
 func (m *Machine) mem(addr uint64) {
 	if m.cache == nil {
-		m.charge(m.cost.CacheHit)
+		m.charge(DimCacheHit, 1)
 		return
 	}
 	if m.cache.Access(addr) {
 		m.counts.CacheHits++
-		m.charge(m.cost.CacheHit)
+		m.charge(DimCacheHit, 1)
 	} else {
 		m.counts.CacheMisses++
-		m.charge(m.cost.CacheMiss)
+		m.charge(DimCacheMiss, 1)
 	}
 }
 
@@ -161,7 +166,7 @@ func (m *Machine) allocObject(c *ir.Class, stacked bool) *Object {
 		o := &Object{Class: c, Slots: make([]Value, n), Addr: m.stackAdr}
 		m.stackAdr += size
 		m.counts.StackAllocated++
-		m.charge(m.cost.StackAlloc)
+		m.charge(DimStackAlloc, 1)
 		return o
 	}
 	o := &Object{Class: c, Slots: make([]Value, n), Addr: m.nextAdr}
@@ -170,7 +175,8 @@ func (m *Machine) allocObject(c *ir.Class, stacked bool) *Object {
 	m.counts.ObjectsAllocated++
 	m.counts.SlotsAllocated += uint64(n)
 	m.counts.BytesAllocated += size
-	m.charge(m.cost.AllocBase + int64(n)*m.cost.AllocPerSlot)
+	m.charge(DimAllocBase, 1)
+	m.charge(DimAllocPerSlot, int64(n))
 	return o
 }
 
@@ -194,14 +200,15 @@ func (m *Machine) allocArray(length, stride int, parallel bool, elem *ir.Class) 
 	m.counts.ArraysAllocated++
 	m.counts.SlotsAllocated += uint64(slots)
 	m.counts.BytesAllocated += size
-	m.charge(m.cost.AllocBase + int64(slots)*m.cost.AllocPerSlot)
+	m.charge(DimAllocBase, 1)
+	m.charge(DimAllocPerSlot, int64(slots))
 	return a
 }
 
 // exec runs one function activation and returns its result.
 func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 	m.counts.Calls++
-	m.charge(m.cost.CallFrame)
+	m.charge(DimCallFrame, 1)
 	regs := make([]Value, fn.NumRegs)
 	copy(regs, args)
 	blk := fn.Blocks[0]
@@ -216,7 +223,7 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 		if m.counts.Instructions > m.maxStep {
 			m.fail(in.Pos, "step limit exceeded (%d)", m.maxStep)
 		}
-		m.charge(m.cost.Base)
+		m.charge(DimBase, 1)
 
 		switch in.Op {
 		case ir.OpConstInt:
@@ -266,7 +273,7 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 				callArgs[i] = regs[a]
 			}
 			m.counts.StaticCalls++
-			m.charge(m.cost.StaticCall)
+			m.charge(DimStaticCall, 1)
 			regs[in.Dst] = m.exec(in.Callee, callArgs)
 		case ir.OpCallStatic:
 			callArgs := make([]Value, len(in.Args))
@@ -274,7 +281,7 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 				callArgs[i] = regs[a]
 			}
 			m.counts.StaticCalls++
-			m.charge(m.cost.StaticCall)
+			m.charge(DimStaticCall, 1)
 			regs[in.Dst] = m.exec(in.Callee, callArgs)
 		case ir.OpCallMethod:
 			recv := regs[in.Args[0]]
@@ -289,7 +296,7 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 				m.fail(in.Pos, "%s takes %d arguments, got %d", target.FullName(), target.NumParams, len(in.Args)-1)
 			}
 			m.counts.Dispatches++
-			m.charge(m.cost.Dispatch)
+			m.charge(DimDispatch, 1)
 			// Touch the object header (the class pointer read the lookup
 			// needs).
 			m.mem(recv.Obj.Addr)
@@ -340,7 +347,7 @@ func (m *Machine) getField(in *ir.Instr, recv Value) Value {
 	switch recv.Kind {
 	case KObj:
 		slot := m.resolveSlot(in, recv.Obj.Class)
-		m.charge(m.cost.FieldAccess)
+		m.charge(DimFieldAccess, 1)
 		m.mem(recv.Obj.SlotAddr(slot))
 		return recv.Obj.Slots[slot]
 	case KInterior:
@@ -348,7 +355,7 @@ func (m *Machine) getField(in *ir.Instr, recv Value) Value {
 		if rel < 0 || in.Field.Owner != nil {
 			m.fail(in.Pos, "unspecialized field access %q on interior reference", in.Field.Name)
 		}
-		m.charge(m.cost.FieldAccess)
+		m.charge(DimFieldAccess, 1)
 		a := recv.Arr
 		if a.Parallel() {
 			m.mem(a.ColAddr(rel, recv.Base))
@@ -368,7 +375,7 @@ func (m *Machine) setField(in *ir.Instr, recv, v Value) {
 	switch recv.Kind {
 	case KObj:
 		slot := m.resolveSlot(in, recv.Obj.Class)
-		m.charge(m.cost.FieldAccess)
+		m.charge(DimFieldAccess, 1)
 		m.mem(recv.Obj.SlotAddr(slot))
 		recv.Obj.Slots[slot] = v
 		return
@@ -377,7 +384,7 @@ func (m *Machine) setField(in *ir.Instr, recv, v Value) {
 		if rel < 0 || in.Field.Owner != nil {
 			m.fail(in.Pos, "unspecialized field store %q on interior reference", in.Field.Name)
 		}
-		m.charge(m.cost.FieldAccess)
+		m.charge(DimFieldAccess, 1)
 		a := recv.Arr
 		if a.Parallel() {
 			m.mem(a.ColAddr(rel, recv.Base))
@@ -405,7 +412,7 @@ func (m *Machine) resolveSlot(in *ir.Instr, c *ir.Class) int {
 		// Bound to a different class version: fall back to by-name lookup.
 	}
 	m.counts.DynFieldLookups++
-	m.charge(m.cost.DynFieldExtra)
+	m.charge(DimDynFieldExtra, 1)
 	if s, ok := m.slotByName(c, f.Name); ok {
 		return s
 	}
@@ -430,7 +437,7 @@ func (m *Machine) arrGet(in *ir.Instr, av, iv Value) Value {
 		m.fail(in.Pos, "plain load from inlined array (unspecialized access)")
 	}
 	m.counts.Dereferences++
-	m.charge(m.cost.ArrayAccess)
+	m.charge(DimArrayAccess, 1)
 	m.mem(a.SlotAddr(i))
 	return a.Elems[i]
 }
@@ -445,7 +452,7 @@ func (m *Machine) arrSet(in *ir.Instr, av, iv, v Value) {
 		m.fail(in.Pos, "plain store to inlined array (unspecialized access)")
 	}
 	m.counts.Dereferences++
-	m.charge(m.cost.ArrayAccess)
+	m.charge(DimArrayAccess, 1)
 	m.mem(a.SlotAddr(i))
 	a.Elems[i] = v
 }
@@ -459,7 +466,7 @@ func (m *Machine) arrInterior(in *ir.Instr, av, iv Value) Value {
 	if a.Stride == 0 {
 		m.fail(in.Pos, "interior reference into a plain array")
 	}
-	m.charge(m.cost.ArrayAccess)
+	m.charge(DimArrayAccess, 1)
 	if a.Parallel() {
 		return InteriorValue(a, i)
 	}
@@ -468,7 +475,7 @@ func (m *Machine) arrInterior(in *ir.Instr, av, iv Value) Value {
 
 func (m *Machine) binop(in *ir.Instr, x, y Value) Value {
 	op := ir.BinOp(in.Aux)
-	m.charge(m.cost.Arith)
+	m.charge(DimArith, 1)
 	switch op {
 	case ir.BinEq:
 		return BoolValue(Identical(x, y))
@@ -548,7 +555,7 @@ func (m *Machine) binop(in *ir.Instr, x, y Value) Value {
 }
 
 func (m *Machine) unop(in *ir.Instr, x Value) Value {
-	m.charge(m.cost.Arith)
+	m.charge(DimArith, 1)
 	switch ir.UnOp(in.Aux) {
 	case ir.UnNeg:
 		switch x.Kind {
@@ -567,7 +574,7 @@ func (m *Machine) unop(in *ir.Instr, x Value) Value {
 
 func (m *Machine) builtin(in *ir.Instr, regs []Value) Value {
 	m.counts.Builtins++
-	m.charge(m.cost.Builtin)
+	m.charge(DimBuiltin, 1)
 	b := ir.Builtin(in.Aux)
 	arg := func(i int) Value { return regs[in.Args[i]] }
 	switch b {
