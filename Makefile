@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench figs
+.PHONY: check build test race vet bench bench-analysis figs
 
 check: build vet race
 
@@ -23,6 +23,15 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Benchmark the analysis phase itself: the Go benchmarks (worklist vs
+# sweep solver on every program at both Tags settings), then the
+# engine's table of the same comparison with solver work counters,
+# saved as BENCH_analysis.json.
+bench-analysis:
+	$(GO) test ./internal/bench -run '^$$' -bench BenchmarkAnalyze -benchtime 3x
+	$(GO) run ./cmd/objbench -fig analysis -json > BENCH_analysis.json
+	$(GO) run ./cmd/objbench -fig analysis
 
 # Regenerate the full evaluation (figure-sized workloads).
 figs:

@@ -9,8 +9,13 @@
 //
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|all] [-scale small|medium|default]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|all] [-scale small|medium|default]
 //	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
+//
+// The extra "analysis" figure benchmarks the analysis phase itself
+// (worklist vs sweep solver; see DESIGN.md). It is timing-sensitive, so
+// -fig all skips it: request it explicitly (`make bench-analysis` emits
+// it as BENCH_analysis.json).
 package main
 
 import (
@@ -31,6 +36,9 @@ type figure struct {
 	name    string
 	compute func(*bench.Engine, bench.Scale) (any, error)
 	print   func(io.Writer, any)
+	// explicitOnly excludes the figure from -fig all (wall-clock
+	// benchmarks whose numbers are only meaningful run alone).
+	explicitOnly bool
 }
 
 // figures lists every figure in the paper's reporting order (the order
@@ -81,10 +89,16 @@ var figures = []figure{
 			}
 		},
 	},
+	{
+		name:         "analysis",
+		compute:      func(e *bench.Engine, s bench.Scale) (any, error) { return e.AnalysisBench(s) },
+		print:        func(w io.Writer, rows any) { bench.PrintAnalysisBench(w, rows.([]bench.AnalysisBenchRow)) },
+		explicitOnly: true,
+	},
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
 	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
@@ -107,7 +121,7 @@ func main() {
 
 	var wanted []figure
 	for _, f := range figures {
-		if *fig == "all" || *fig == f.name {
+		if *fig == f.name || (*fig == "all" && !f.explicitOnly) {
 			wanted = append(wanted, f)
 		}
 	}

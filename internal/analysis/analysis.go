@@ -3,9 +3,21 @@ package analysis
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"objinline/internal/ir"
 	"objinline/internal/lower"
+)
+
+// Solver names for Options.Solver (see solver.go for the worklist design).
+const (
+	// SolverWorklist is the dependency-driven worklist solver: only the
+	// contours whose inputs changed are re-evaluated. The default.
+	SolverWorklist = "worklist"
+	// SolverSweep is the naive global re-sweep: every contour is
+	// re-evaluated every round until nothing changes. Kept as the
+	// reference implementation for differential testing.
+	SolverSweep = "sweep"
 )
 
 // Options configures an analysis run.
@@ -22,6 +34,13 @@ type Options struct {
 	MaxContours int
 	// TagDepth caps tag nesting before collapsing to Top (default 3).
 	TagDepth int
+	// Solver selects the fixpoint engine: SolverWorklist (default) or
+	// SolverSweep. Both compute identical results (differentially
+	// tested); the worklist does far less work.
+	Solver string
+	// MaxRounds bounds the per-pass fixpoint iteration (default 1000).
+	// A pass that exhausts it stops with Result.Converged == false.
+	MaxRounds int
 }
 
 // WithDefaults returns o with zero-valued knobs replaced by their
@@ -37,6 +56,12 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.TagDepth == 0 {
 		o.TagDepth = 3
+	}
+	if o.Solver == "" {
+		o.Solver = SolverWorklist
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 1000
 	}
 	return o
 }
@@ -55,18 +80,28 @@ type Result struct {
 
 	Passes     int
 	Overflowed bool
+	// Converged is false when the final pass exhausted Options.MaxRounds
+	// before reaching a fixpoint; the result is then a (sound per-round
+	// but possibly incomplete) under-approximation and downstream
+	// consumers should treat it conservatively.
+	Converged bool
+	// Work counts the solver's effort across all passes (see WorkStats).
+	Work WorkStats
 }
 
 // Analyze runs the context-sensitive flow analysis to a fixpoint,
 // iteratively refining contour-selection policies between passes (the
 // demand-driven splitting of §3.2.1).
 func Analyze(prog *ir.Program, opts Options) *Result {
+	opts = opts.WithDefaults()
 	a := &analyzer{
 		prog:       prog,
-		opts:       opts.WithDefaults(),
+		opts:       opts,
+		sweep:      opts.Solver == SolverSweep,
 		policies:   make(map[*ir.Func]*fnPolicy),
 		classSplit: make(map[*ir.Class]bool),
 		arrSplit:   make(map[int]bool),
+		nInstrs:    make(map[*ir.Func]int),
 	}
 	for pass := 1; ; pass++ {
 		a.runPass()
@@ -76,9 +111,32 @@ func Analyze(prog *ir.Program, opts Options) *Result {
 	}
 }
 
+// mcKey identifies a method contour: the function plus the context key the
+// selection policy produced. A comparable struct, not a formatted string —
+// contour lookup is the hottest path of the analysis.
+type mcKey struct {
+	fn  *ir.Func
+	ctx string
+}
+
+// allocKey identifies an object or array contour: the allocation site plus
+// the creating method contour's ID when the site is creator-split
+// (creator == -1 otherwise).
+type allocKey struct {
+	site    int
+	creator int
+}
+
+// callSite keys the per-pass siteKey memo.
+type callSite struct {
+	mc    *MethodContour
+	instr int
+}
+
 type analyzer struct {
-	prog *ir.Program
-	opts Options
+	prog  *ir.Program
+	opts  Options
+	sweep bool
 
 	// Cross-pass refinement state (monotone).
 	policies   map[*ir.Func]*fnPolicy
@@ -87,19 +145,31 @@ type analyzer struct {
 
 	// Per-pass state.
 	tt       *tagTable
-	mcs      map[string]*MethodContour
+	mcs      map[mcKey]*MethodContour
 	mcList   []*MethodContour
-	ocs      map[string]*ObjContour
+	ocs      map[allocKey]*ObjContour
 	ocList   []*ObjContour
-	acs      map[string]*ArrContour
+	acs      map[allocKey]*ArrContour
 	acList   []*ArrContour
 	globals  []VarState
 	edges    map[edgeKey]*Edge
+	siteKeys map[callSite]string
 	changed  bool
 	overflow bool
 	nextMC   int
 	nextOC   int
 	nextAC   int
+
+	// Solver state (see solver.go).
+	cur         *MethodContour // contour being evaluated (dep registration)
+	curIdx      int            // its ID, or -1 outside an evaluation
+	curInstr    int            // flattened position of the instruction being evaluated
+	nInstrs     map[*ir.Func]int
+	dirtyCur    []bool         // by contour ID: scheduled for this round
+	dirtyNext   []bool         // by contour ID: scheduled for the next round
+	pendingNext int
+	converged   bool
+	work        WorkStats
 }
 
 type edgeKey struct {
@@ -119,18 +189,37 @@ func (a *analyzer) policy(fn *ir.Func) *fnPolicy {
 
 func siteUID(fn *ir.Func, in *ir.Instr) int { return fn.ID*1_000_000 + in.ID }
 
+// instrCount returns (memoized; the IR is immutable) the number of
+// instructions in fn, which sizes per-contour dirty bitmaps.
+func (a *analyzer) instrCount(fn *ir.Func) int {
+	if n, ok := a.nInstrs[fn]; ok {
+		return n
+	}
+	n := 0
+	for _, b := range fn.Blocks {
+		n += len(b.Instrs)
+	}
+	a.nInstrs[fn] = n
+	return n
+}
+
 func (a *analyzer) resetPass() {
 	a.tt = newTagTable(a.opts.TagDepth)
-	a.mcs = make(map[string]*MethodContour)
+	a.mcs = make(map[mcKey]*MethodContour)
 	a.mcList = nil
-	a.ocs = make(map[string]*ObjContour)
+	a.ocs = make(map[allocKey]*ObjContour)
 	a.ocList = nil
-	a.acs = make(map[string]*ArrContour)
+	a.acs = make(map[allocKey]*ArrContour)
 	a.acList = nil
 	a.globals = make([]VarState, len(a.prog.Globals))
 	a.edges = make(map[edgeKey]*Edge)
+	a.siteKeys = make(map[callSite]string)
 	a.overflow = false
 	a.nextMC, a.nextOC, a.nextAC = 0, 0, 0
+	a.cur, a.curIdx, a.curInstr = nil, -1, -1
+	a.dirtyCur, a.dirtyNext = nil, nil
+	a.pendingNext = 0
+	a.converged = true
 }
 
 // runPass analyzes the whole program to a fixpoint under the current
@@ -143,17 +232,10 @@ func (a *analyzer) runPass() {
 	if a.prog.Main != nil {
 		a.getMC(a.prog.Main, "")
 	}
-	const maxRounds = 1000
-	for round := 0; round < maxRounds; round++ {
-		a.changed = false
-		// The list grows while we iterate; newly created contours are
-		// evaluated within the same round.
-		for i := 0; i < len(a.mcList); i++ {
-			a.evalContour(a.mcList[i])
-		}
-		if !a.changed {
-			return
-		}
+	if a.sweep {
+		a.runSweep()
+	} else {
+		a.runWorklist()
 	}
 }
 
@@ -164,7 +246,7 @@ func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
 		a.overflow = true
 		key = "" // stop splitting; merge into the base contour
 	}
-	id := fmt.Sprintf("%d|%s", fn.ID, key)
+	id := mcKey{fn, key}
 	if mc, ok := a.mcs[id]; ok {
 		return mc
 	}
@@ -173,17 +255,33 @@ func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
 	a.mcs[id] = mc
 	a.mcList = append(a.mcList, mc)
 	a.changed = true
+	if !a.sweep {
+		// New contours run in the current round (the sweep evaluates list
+		// growth within the round; see solver.go for why order matters),
+		// with every instruction initially fully dirty.
+		mc.dirty = make([]bool, numSlots*a.instrCount(fn))
+		for i := 0; i < len(mc.dirty); i += numSlots {
+			mc.dirty[i] = true
+		}
+		a.dirtyCur = append(a.dirtyCur, true)
+		a.dirtyNext = append(a.dirtyNext, false)
+		a.work.Enqueues++
+	}
 	return mc
 }
 
 func (a *analyzer) getOC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ObjContour {
-	key := ""
+	creator := -1
 	if a.classSplit[in.Class] {
-		key = fmt.Sprintf("c%d", mc.ID)
+		creator = mc.ID
 	}
-	id := fmt.Sprintf("%d|%s", siteUID(fn, in), key)
+	id := allocKey{siteUID(fn, in), creator}
 	if oc, ok := a.ocs[id]; ok {
 		return oc
+	}
+	key := ""
+	if creator >= 0 {
+		key = "c" + strconv.Itoa(creator)
 	}
 	oc := &ObjContour{
 		ID: a.nextOC, Class: in.Class, Site: in, SiteFn: fn, Key: key,
@@ -197,13 +295,17 @@ func (a *analyzer) getOC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ObjConto
 }
 
 func (a *analyzer) getAC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ArrContour {
-	key := ""
+	creator := -1
 	if a.arrSplit[siteUID(fn, in)] {
-		key = fmt.Sprintf("c%d", mc.ID)
+		creator = mc.ID
 	}
-	id := fmt.Sprintf("%d|%s", siteUID(fn, in), key)
+	id := allocKey{siteUID(fn, in), creator}
 	if ac, ok := a.acs[id]; ok {
 		return ac
+	}
+	key := ""
+	if creator >= 0 {
+		key = "c" + strconv.Itoa(creator)
 	}
 	ac := &ArrContour{ID: a.nextAC, Site: in, SiteFn: fn, Key: key}
 	a.nextAC++
@@ -216,28 +318,43 @@ func (a *analyzer) getAC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ArrConto
 // merge wraps VarState.Merge with change tracking.
 func (a *analyzer) merge(dst, src *VarState) {
 	if dst.Merge(src) {
-		a.changed = true
+		a.bump(dst)
 	}
 }
 
 func (a *analyzer) addPrim(dst *VarState, m PrimMask) {
 	if dst.TS.AddPrim(m) {
-		a.changed = true
+		a.bump(dst)
 	}
 }
 
 func (a *analyzer) addTag(dst *VarState, t *Tag) {
 	if a.opts.Tags && dst.Tags.Add(t) {
-		a.changed = true
+		a.bump(dst)
 	}
 }
 
 // siteKey builds the caller-context component of a callee contour key,
 // bounded in length so recursion terminates (deep chains hash-merge).
+// Keys are memoized per (caller contour, call site): they are recomputed
+// on every re-evaluation of a call instruction, and the inputs (the
+// caller's own key and the site) are immutable within a pass.
 func (a *analyzer) siteKey(caller *MethodContour, in *ir.Instr) string {
-	k := fmt.Sprintf("s%d.%d", caller.Fn.ID, in.ID)
-	if caller.Key != "" {
-		k = caller.Key + "/" + k
+	ck := callSite{caller, in.ID}
+	if k, ok := a.siteKeys[ck]; ok {
+		return k
+	}
+	k := computeSiteKey(caller.Fn.ID, caller.Key, in.ID)
+	a.siteKeys[ck] = k
+	return k
+}
+
+// computeSiteKey is the uncached key construction (exercised directly by
+// benchmarks; callers go through the memoizing siteKey).
+func computeSiteKey(fnID int, callerKey string, instrID int) string {
+	k := "s" + strconv.Itoa(fnID) + "." + strconv.Itoa(instrID)
+	if callerKey != "" {
+		k = callerKey + "/" + k
 	}
 	if len(k) > 72 {
 		h := fnv.New32a()
@@ -247,19 +364,131 @@ func (a *analyzer) siteKey(caller *MethodContour, in *ir.Instr) string {
 	return k
 }
 
-// evalContour applies the transfer functions of every instruction in the
-// contour's function.
+// evalContour applies instruction transfer functions in flattened program
+// order. The sweep (mc.dirty == nil) applies every one in full; the
+// worklist applies only the dirty slots — a fully dirty instruction
+// re-runs whole (subsuming its partial slots), an instruction dirty only
+// in a data slot gets the matching partial re-merge, and a clean
+// instruction is skipped. Skipped work has unchanged inputs, so skipping
+// it is a no-op (see solver.go).
 func (a *analyzer) evalContour(mc *MethodContour) {
+	a.cur = mc
+	a.work.ContourEvals++
 	fn := mc.Fn
-	for _, b := range fn.Blocks {
-		for _, in := range b.Instrs {
-			a.evalInstr(mc, fn, in)
+	if mc.dirty == nil {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				a.evalInstr(mc, fn, in)
+			}
+		}
+	} else {
+		pos := 0
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				base := numSlots * pos
+				if mc.dirty[base] {
+					mc.dirty[base] = false
+					mc.dirty[base+slotArgs] = false
+					mc.dirty[base+slotRet] = false
+					a.curInstr = pos
+					a.evalInstr(mc, fn, in)
+				} else {
+					// Partial order mirrors the full evaluation: argument
+					// merges precede the return merge.
+					if mc.dirty[base+slotArgs] {
+						mc.dirty[base+slotArgs] = false
+						a.curInstr = pos
+						a.evalArgs(mc, in)
+					}
+					if mc.dirty[base+slotRet] {
+						mc.dirty[base+slotRet] = false
+						a.curInstr = pos
+						a.evalRet(mc, in)
+					}
+				}
+				pos++
+			}
+		}
+		a.curInstr = -1
+	}
+	a.cur = nil
+}
+
+// evalArgs is the slotArgs partial evaluation: one of the instruction's
+// data inputs changed, while its control inputs (receiver, base,
+// operands) did not — so the bindings the full transfer function would
+// enumerate are exactly the ones already recorded, and re-merging the
+// data through them — in the full evaluation's enumeration order (the
+// sorted contour lists for loads, calleeOrder for calls; see solver.go
+// on why order matters) — reproduces the full evaluation's effect on
+// those cells. Only instructions that register slotArgs readers get
+// here.
+func (a *analyzer) evalArgs(mc *MethodContour, in *ir.Instr) {
+	a.work.PartialEvals++
+	switch in.Op {
+	case ir.OpGetField:
+		base := mc.Reg(in.Args[0]) // registered slotFull by the full eval
+		dst := mc.Reg(in.Dst)
+		for _, oc := range base.TS.ObjList() {
+			fs := oc.FieldState(in.Field.Name)
+			if fs == nil {
+				continue
+			}
+			a.useArg(fs)
+			if dst.TS.Union(&fs.TS) {
+				a.bump(dst)
+			}
+		}
+	case ir.OpArrGet:
+		base := mc.Reg(in.Args[0])
+		dst := mc.Reg(in.Dst)
+		for _, ac := range base.TS.ArrList() {
+			a.useArg(&ac.Elem)
+			if dst.TS.Union(&ac.Elem.TS) {
+				a.bump(dst)
+			}
+		}
+	case ir.OpCall, ir.OpCallStatic, ir.OpCallMethod:
+		// The self argument (when present) derives from the receiver — a
+		// slotFull input — so it is unchanged here and skipped.
+		start := 0
+		if in.Op != ir.OpCall {
+			start = 1
+		}
+		for _, cmc := range mc.calleeOrder[in.ID] {
+			e := a.edge(mc, in, cmc)
+			for i := start; i < len(in.Args); i++ {
+				src := a.useArg(mc.Reg(in.Args[i]))
+				a.merge(cmc.Reg(cmc.Fn.ParamReg(i-start)), src)
+				e.Args[i].Merge(src)
+			}
 		}
 	}
 }
 
+// evalRet is the slotRet partial evaluation: a callee's return cell
+// changed, so it is re-merged into the call's destination. The receiver
+// is unchanged (a receiver change dirties slotFull instead), so the
+// callees — and the order a full re-run would merge their returns in —
+// are exactly those calleeOrder recorded at the site's last full
+// evaluation.
+func (a *analyzer) evalRet(mc *MethodContour, in *ir.Instr) {
+	a.work.PartialEvals++
+	if in.Dst == ir.NoReg {
+		return
+	}
+	dst := mc.Reg(in.Dst)
+	for _, cmc := range mc.calleeOrder[in.ID] {
+		a.merge(dst, a.useRet(&cmc.Ret))
+	}
+}
+
 func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
+	a.work.InstrEvals++
 	reg := func(r ir.Reg) *VarState { return mc.Reg(r) }
+	// use marks a register as an input of this instruction's evaluation
+	// before reading it (dependency registration; see solver.go).
+	use := func(r ir.Reg) *VarState { return a.use(mc.Reg(r)) }
 	switch in.Op {
 	case ir.OpConstInt:
 		a.addPrim(reg(in.Dst), PInt)
@@ -272,11 +501,11 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 	case ir.OpConstNil:
 		a.addPrim(reg(in.Dst), PNil)
 	case ir.OpMove:
-		a.merge(reg(in.Dst), reg(in.Args[0]))
+		a.merge(reg(in.Dst), use(in.Args[0]))
 	case ir.OpBin:
 		a.evalBin(mc, in)
 	case ir.OpUn:
-		x := reg(in.Args[0])
+		x := use(in.Args[0])
 		if ir.UnOp(in.Aux) == ir.UnNot {
 			a.addPrim(reg(in.Dst), PBool)
 		} else {
@@ -290,7 +519,7 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 		mc.NewObjs[in.ID] = oc
 		dst := reg(in.Dst)
 		if dst.TS.AddObj(oc) {
-			a.changed = true
+			a.bump(dst)
 		}
 		a.addTag(dst, a.tt.noField)
 	case ir.OpNewArray:
@@ -301,17 +530,18 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 		mc.NewArrs[in.ID] = ac
 		dst := reg(in.Dst)
 		if dst.TS.AddArr(ac) {
-			a.changed = true
+			a.bump(dst)
 		}
 		a.addTag(dst, a.tt.noField)
 	case ir.OpGetField:
-		base := reg(in.Args[0])
+		base := use(in.Args[0])
 		dst := reg(in.Dst)
 		for _, oc := range base.TS.ObjList() {
 			fs := oc.FieldState(in.Field.Name)
 			if fs == nil {
 				continue
 			}
+			a.useArg(fs)
 			// Types flow through the field; the loaded value is tagged
 			// MakeTag(f, tag(o)) per §4.1. Content provenance is *not*
 			// unioned in: it stays recorded on the field state and is
@@ -319,7 +549,7 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 			// field-confluence partitions associate a content tag with
 			// each split object contour.
 			if dst.TS.Union(&fs.TS) {
-				a.changed = true
+				a.bump(dst)
 			}
 			if a.opts.Tags {
 				for _, t := range base.Tags.List() {
@@ -328,8 +558,8 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 			}
 		}
 	case ir.OpSetField:
-		base := reg(in.Args[0])
-		val := reg(in.Args[1])
+		base := use(in.Args[0])
+		val := use(in.Args[1])
 		for _, oc := range base.TS.ObjList() {
 			fs := oc.FieldState(in.Field.Name)
 			if fs == nil {
@@ -338,11 +568,12 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 			a.merge(fs, val)
 		}
 	case ir.OpArrGet:
-		base := reg(in.Args[0])
+		base := use(in.Args[0])
 		dst := reg(in.Dst)
 		for _, ac := range base.TS.ArrList() {
+			a.useArg(&ac.Elem)
 			if dst.TS.Union(&ac.Elem.TS) {
-				a.changed = true
+				a.bump(dst)
 			}
 			if a.opts.Tags {
 				for _, t := range base.Tags.List() {
@@ -351,26 +582,35 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 			}
 		}
 	case ir.OpArrSet:
-		base := reg(in.Args[0])
-		val := reg(in.Args[2])
+		base := use(in.Args[0])
+		val := use(in.Args[2])
 		for _, ac := range base.TS.ArrList() {
 			a.merge(&ac.Elem, val)
 		}
 	case ir.OpCall:
+		if !a.sweep {
+			mc.resetCalleeOrder(in.ID)
+		}
 		a.bindTopLevel(mc, fn, in)
 	case ir.OpCallStatic:
+		if !a.sweep {
+			mc.resetCalleeOrder(in.ID)
+		}
 		a.bindReceiverCall(mc, fn, in, in.Callee)
 	case ir.OpCallMethod:
+		if !a.sweep {
+			mc.resetCalleeOrder(in.ID)
+		}
 		a.bindReceiverCall(mc, fn, in, nil)
 	case ir.OpGetGlobal:
-		a.merge(reg(in.Dst), &a.globals[in.Global])
+		a.merge(reg(in.Dst), a.use(&a.globals[in.Global]))
 	case ir.OpSetGlobal:
-		a.merge(&a.globals[in.Global], reg(in.Args[0]))
+		a.merge(&a.globals[in.Global], use(in.Args[0]))
 	case ir.OpBuiltin:
 		a.evalBuiltin(mc, in)
 	case ir.OpReturn:
 		if len(in.Args) > 0 {
-			a.merge(&mc.Ret, reg(in.Args[0]))
+			a.merge(&mc.Ret, use(in.Args[0]))
 		}
 	case ir.OpJump, ir.OpBranch, ir.OpTrap:
 		// No value flow.
@@ -380,7 +620,7 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 }
 
 func (a *analyzer) evalBin(mc *MethodContour, in *ir.Instr) {
-	x, y := mc.Reg(in.Args[0]), mc.Reg(in.Args[1])
+	x, y := a.use(mc.Reg(in.Args[0])), a.use(mc.Reg(in.Args[1]))
 	dst := mc.Reg(in.Dst)
 	switch ir.BinOp(in.Aux) {
 	case ir.BinEq, ir.BinNe, ir.BinLt, ir.BinLe, ir.BinGt, ir.BinGe:
@@ -412,9 +652,9 @@ func (a *analyzer) evalBuiltin(mc *MethodContour, in *ir.Instr) {
 	case ir.BStrCat:
 		a.addPrim(dst, PStr)
 	case ir.BAbs:
-		a.addPrim(dst, mc.Reg(in.Args[0]).TS.Prims&(PInt|PFloat))
+		a.addPrim(dst, a.use(mc.Reg(in.Args[0])).TS.Prims&(PInt|PFloat))
 	case ir.BMin, ir.BMax:
-		m := (mc.Reg(in.Args[0]).TS.Prims | mc.Reg(in.Args[1]).TS.Prims) & (PInt | PFloat)
+		m := (a.use(mc.Reg(in.Args[0])).TS.Prims | a.use(mc.Reg(in.Args[1])).TS.Prims) & (PInt | PFloat)
 		a.addPrim(dst, m)
 	}
 }
@@ -430,14 +670,17 @@ func (a *analyzer) bindTopLevel(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 	if mc.addCallee(in.ID, cmc) {
 		a.changed = true
 	}
+	if !a.sweep {
+		mc.noteCallee(in.ID, cmc)
+	}
 	e := a.edge(mc, in, cmc)
 	for i, r := range in.Args {
-		src := mc.Reg(r)
+		src := a.useArg(mc.Reg(r))
 		a.merge(cmc.Reg(callee.ParamReg(i)), src)
 		e.Args[i].Merge(src)
 	}
 	if in.Dst != ir.NoReg {
-		a.merge(mc.Reg(in.Dst), &cmc.Ret)
+		a.merge(mc.Reg(in.Dst), a.useRet(&cmc.Ret))
 	}
 }
 
@@ -447,7 +690,7 @@ func (a *analyzer) bindTopLevel(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 // callee's self state to the enumerated (object contour, tag) pair, which
 // is what makes the selection monotone within a pass.
 func (a *analyzer) bindReceiverCall(mc *MethodContour, fn *ir.Func, in *ir.Instr, fixed *ir.Func) {
-	recv := mc.Reg(in.Args[0])
+	recv := a.use(mc.Reg(in.Args[0]))
 	for _, oc := range recv.TS.ObjList() {
 		target := fixed
 		if target == nil {
@@ -466,11 +709,11 @@ func (a *analyzer) bindReceiverCall(mc *MethodContour, fn *ir.Func, in *ir.Instr
 			baseKey = a.siteKey(mc, in)
 		}
 		if pol.splitByRecvOC {
-			baseKey += fmt.Sprintf("|o%d", oc.ID)
+			baseKey += "|o" + strconv.Itoa(oc.ID)
 		}
 		if pol.splitByRecvTag && a.opts.Tags && recv.Tags.Len() > 0 {
 			for _, t := range recv.Tags.List() {
-				key := baseKey + fmt.Sprintf("|t%d", t.ID)
+				key := baseKey + "|t" + strconv.Itoa(t.ID)
 				self := VarState{}
 				self.TS.AddObj(oc)
 				self.Tags.Add(t)
@@ -492,16 +735,19 @@ func (a *analyzer) bindMethod(mc *MethodContour, in *ir.Instr, target *ir.Func, 
 	if mc.addCallee(in.ID, cmc) {
 		a.changed = true
 	}
+	if !a.sweep {
+		mc.noteCallee(in.ID, cmc)
+	}
 	e := a.edge(mc, in, cmc)
 	a.merge(cmc.Reg(0), self)
 	e.Args[0].Merge(self)
 	for i := 1; i < len(in.Args); i++ {
-		src := mc.Reg(in.Args[i])
+		src := a.useArg(mc.Reg(in.Args[i]))
 		a.merge(cmc.Reg(target.ParamReg(i-1)), src)
 		e.Args[i].Merge(src)
 	}
 	if in.Dst != ir.NoReg {
-		a.merge(mc.Reg(in.Dst), &cmc.Ret)
+		a.merge(mc.Reg(in.Dst), a.useRet(&cmc.Ret))
 	}
 }
 
@@ -528,6 +774,8 @@ func (a *analyzer) result(passes int) *Result {
 		Globals:    a.globals,
 		Passes:     passes,
 		Overflowed: a.overflow,
+		Converged:  a.converged,
+		Work:       a.work,
 	}
 	for _, mc := range a.mcList {
 		res.Contours[mc.Fn] = append(res.Contours[mc.Fn], mc)

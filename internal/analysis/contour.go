@@ -36,6 +36,43 @@ type MethodContour struct {
 	// needs them to pick class versions for rewritten allocations).
 	NewObjs map[int]*ObjContour
 	NewArrs map[int]*ArrContour
+
+	// dirty marks, by flattened instruction position, which instructions
+	// the worklist solver must re-evaluate on its next visit to this
+	// contour. All-true at creation (the first visit runs everything);
+	// nil under the sweep solver. See solver.go.
+	dirty []bool
+
+	// calleeOrder lists each call site's callees in the order the last
+	// full evaluation of the site enumerated them. The partial
+	// re-evaluations (evalArgs/evalRet) iterate this list instead of the
+	// Callees set so their merges replay in the full evaluation's exact
+	// order — tag sets saturate order-sensitively (see TagSet.Add), so
+	// matching the order is what keeps the worklist bit-identical to the
+	// sweep. Maintained only by the worklist solver.
+	calleeOrder map[int][]*MethodContour
+}
+
+// resetCalleeOrder clears a site's enumeration-order list (keeping its
+// capacity) before a full evaluation rebuilds it.
+func (mc *MethodContour) resetCalleeOrder(instrID int) {
+	if mc.calleeOrder == nil {
+		mc.calleeOrder = make(map[int][]*MethodContour)
+	}
+	mc.calleeOrder[instrID] = mc.calleeOrder[instrID][:0]
+}
+
+// noteCallee appends a callee to a site's enumeration-order list. Sites
+// have few callees, so the dedup (one contour serving several receiver
+// contours in one enumeration) is a linear scan.
+func (mc *MethodContour) noteCallee(instrID int, callee *MethodContour) {
+	list := mc.calleeOrder[instrID]
+	for _, c := range list {
+		if c == callee {
+			return
+		}
+	}
+	mc.calleeOrder[instrID] = append(list, callee)
 }
 
 func (mc *MethodContour) String() string {

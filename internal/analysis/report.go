@@ -8,7 +8,8 @@ import (
 	"objinline/internal/ir"
 )
 
-// Stats summarizes analysis cost, the Figure 16 metric.
+// Stats summarizes analysis cost, the Figure 16 metric, plus the solver's
+// work counters and convergence status.
 type Stats struct {
 	ReachedFuncs   int
 	MethodContours int
@@ -17,6 +18,12 @@ type Stats struct {
 	Passes         int
 	// ContoursPerMethod is MethodContours / ReachedFuncs.
 	ContoursPerMethod float64
+	// Solver names the fixpoint engine that produced the result;
+	// Converged is false when the final pass hit Options.MaxRounds.
+	Solver    string
+	Converged bool
+	// Work counts the solver's effort across all passes.
+	Work WorkStats
 }
 
 // Stats computes the contour statistics of the result.
@@ -27,6 +34,9 @@ func (r *Result) Stats() Stats {
 		ObjContours:    len(r.Objs),
 		ArrContours:    len(r.Arrs),
 		Passes:         r.Passes,
+		Solver:         r.Opts.Solver,
+		Converged:      r.Converged,
+		Work:           r.Work,
 	}
 	if s.ReachedFuncs > 0 {
 		s.ContoursPerMethod = float64(s.MethodContours) / float64(s.ReachedFuncs)
@@ -128,6 +138,10 @@ func (r *Result) String() string {
 	st := r.Stats()
 	fmt.Fprintf(&b, "passes=%d contours=%d objs=%d arrs=%d funcs=%d (%.2f contours/method)\n",
 		st.Passes, st.MethodContours, st.ObjContours, st.ArrContours, st.ReachedFuncs, st.ContoursPerMethod)
+	if !r.Converged {
+		fmt.Fprintf(&b, "WARNING: analysis did not converge within MaxRounds=%d; result is incomplete\n",
+			r.Opts.MaxRounds)
+	}
 	fns := make([]*ir.Func, 0, len(r.Contours))
 	for fn := range r.Contours {
 		fns = append(fns, fn)

@@ -176,6 +176,15 @@ func (t *TypeSet) String() string {
 type VarState struct {
 	TS   TypeSet
 	Tags TagSet
+
+	// Worklist-solver bookkeeping: the (method contour, instruction,
+	// slot) readers of this state (its dependents), packed into
+	// pointer-free uint64 keys (see solver.go). dep0 inlines the
+	// overwhelmingly common single-reader case — one instruction
+	// re-reading the register it always reads — so most states never
+	// allocate the spill map. Maintained only while solving.
+	dep0 uint64
+	deps map[uint64]struct{}
 }
 
 // Merge unions o into s, reporting change.

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"objinline/internal/analysis"
 	"objinline/internal/pipeline"
 )
 
@@ -327,18 +328,28 @@ func TestDifferentialFuzz(t *testing.T) {
 				{"baseline", pipeline.Config{Mode: pipeline.ModeBaseline}},
 				{"inline", pipeline.Config{Mode: pipeline.ModeInline}},
 				{"inline-parallel", pipeline.Config{Mode: pipeline.ModeInline, ArrayLayout: 1}},
+				// The reference sweep solver: must execute identically AND
+				// analyze identically to the default worklist (checked
+				// against "inline" below).
+				{"inline-sweep", pipeline.Config{Mode: pipeline.ModeInline,
+					Analysis: analysis.Options{Solver: analysis.SolverSweep}}},
 			}
 			outputs := map[string]string{}
+			compiled := map[string]*pipeline.Compiled{}
 			for _, c := range configs {
 				comp, err := pipeline.Compile("fuzz.icc", src, c.cfg)
 				if err != nil {
 					t.Fatalf("%s compile: %v\nprogram:\n%s", c.name, err, src)
 				}
+				compiled[c.name] = comp
 				var out strings.Builder
 				if _, err := comp.Run(pipeline.RunOptions{Out: &out, MaxSteps: 5_000_000}); err != nil {
 					t.Fatalf("%s run: %v\nprogram:\n%s", c.name, err, src)
 				}
 				outputs[c.name] = out.String()
+			}
+			if dw, ds := compiled["inline"].Analysis.String(), compiled["inline-sweep"].Analysis.String(); dw != ds {
+				t.Errorf("worklist and sweep analyses differ\nprogram:\n%s\nworklist:\n%s\nsweep:\n%s", src, dw, ds)
 			}
 			for _, c := range configs[1:] {
 				if outputs[c.name] != outputs["direct"] {

@@ -287,6 +287,10 @@ func (p *Program) Report() string {
 		st := p.c.Analysis.Stats()
 		fmt.Fprintf(&b, "analysis: %d contours over %d methods (%.2f/method), %d object contours, %d passes\n",
 			st.MethodContours, st.ReachedFuncs, st.ContoursPerMethod, st.ObjContours, st.Passes)
+		if !st.Converged {
+			fmt.Fprintf(&b, "analysis: WARNING: %s solver hit the round limit before converging; the result is incomplete\n",
+				st.Solver)
+		}
 	}
 	if p.c.Optimize != nil {
 		fmt.Fprintf(&b, "clones added: %d; class versions: %d\n",
