@@ -266,8 +266,47 @@ func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
 		a.dirtyCur = append(a.dirtyCur, true)
 		a.dirtyNext = append(a.dirtyNext, false)
 		a.work.Enqueues++
+		if len(a.mcList) == a.opts.MaxContours {
+			a.redirtyCallSites()
+		}
 	}
 	return mc
+}
+
+// redirtyCallSites re-dirties the slotFull bit of every call instruction
+// in every contour and reschedules the contours. Called once per pass, at
+// the creation that fills the contour list to Options.MaxContours: from
+// that point getMC coerces split keys to the base contour, and the
+// coercion is driven by the contour *count* — an input no VarState
+// dependency observes — so even call sites with unchanged inputs must
+// re-bind. The sweep gets this for free: the filling creation set
+// changed, guaranteeing every site a post-transition visit. Re-dirtying
+// replays exactly those visits (ahead-of-cursor sites this round, the
+// rest next round, per enqueue's routing), keeping the two solvers
+// bit-identical through the overflow transition.
+func (a *analyzer) redirtyCallSites() {
+	for _, mc := range a.mcList {
+		sched := false
+		pos := 0
+		for _, b := range mc.Fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpCall, ir.OpCallStatic, ir.OpCallMethod:
+					mc.dirty[numSlots*pos+slotFull] = true
+					// A site ahead of the in-progress scan of the contour
+					// currently evaluating is reached by this very visit;
+					// any other site needs its contour (re-)scheduled.
+					if mc != a.cur || pos <= a.curInstr {
+						sched = true
+					}
+				}
+				pos++
+			}
+		}
+		if sched {
+			a.enqueue(mc)
+		}
+	}
 }
 
 func (a *analyzer) getOC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ObjContour {

@@ -47,6 +47,12 @@ package analysis
 // iterating the receiver's object contours) is re-run whenever that
 // state grows, at which point it registers reads on any newly reachable
 // cells — so dependencies stay complete as the state space unfolds.
+// One call-site input lives outside any VarState: getMC's coercion of
+// split keys to the base contour once the contour list reaches
+// Options.MaxContours. That transition is handled globally — the
+// filling creation re-dirties every call instruction in every contour
+// (redirtyCallSites in analysis.go), replaying the full revisit the
+// sweep performs after it anyway.
 // This per-instruction refinement is where the solver's work drop
 // becomes super-proportional: a rescheduled contour typically re-runs
 // one call or field instruction, not its whole body.

@@ -83,6 +83,46 @@ func TestSolverDifferentialBench(t *testing.T) {
 	}
 }
 
+// TestSolverDifferentialOverflow holds the solvers to identical results
+// in the MaxContours-overflow regime. Once the contour list fills up,
+// getMC coerces split keys to the base contour — a behavior change driven
+// by the contour *count*, which no VarState dependency observes — so the
+// worklist must globally re-dirty call sites at the transition (see
+// redirtyCallSites). Small caps force the transition on every program.
+func TestSolverDifferentialOverflow(t *testing.T) {
+	overflowed := false
+	for _, p := range bench.Programs {
+		for _, tags := range []bool{false, true} {
+			for _, max := range []int{3, 5, 17, 33} {
+				t.Run(fmt.Sprintf("%s/tags=%v/max=%d", p.Name, tags, max), func(t *testing.T) {
+					src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+					if err != nil {
+						t.Fatalf("source: %v", err)
+					}
+					rw, rs := analyzeBoth(t, src, analysis.Options{Tags: tags, MaxContours: max})
+					if rw.Overflowed != rs.Overflowed {
+						t.Fatalf("overflow flags differ: worklist=%v sweep=%v", rw.Overflowed, rs.Overflowed)
+					}
+					if rw.Overflowed {
+						overflowed = true
+					}
+					if dw, ds := rw.String(), rs.String(); dw != ds {
+						t.Fatalf("solver dumps differ at MaxContours=%d (overflowed=%v)\nworklist:\n%s\nsweep:\n%s",
+							max, rw.Overflowed, dw, ds)
+					}
+					if rw.Work.InstrEvals > rs.Work.InstrEvals {
+						t.Errorf("worklist did more instruction evals than the sweep: %d > %d",
+							rw.Work.InstrEvals, rs.Work.InstrEvals)
+					}
+				})
+			}
+		}
+	}
+	if !overflowed {
+		t.Error("no case reported Overflowed=true; the caps are too large to exercise the transition")
+	}
+}
+
 func fieldKeyStrings(keys []analysis.FieldKey) string {
 	parts := make([]string, len(keys))
 	for i, k := range keys {

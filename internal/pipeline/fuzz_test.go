@@ -351,6 +351,23 @@ func TestDifferentialFuzz(t *testing.T) {
 			if dw, ds := compiled["inline"].Analysis.String(), compiled["inline-sweep"].Analysis.String(); dw != ds {
 				t.Errorf("worklist and sweep analyses differ\nprogram:\n%s\nworklist:\n%s\nsweep:\n%s", src, dw, ds)
 			}
+			// The MaxContours-overflow regime, where getMC coerces split
+			// keys to base contours (the worklist must globally re-dirty
+			// call sites at the transition; see analysis.redirtyCallSites).
+			// Compared at the analysis level only: the inline transform may
+			// legitimately fail to converge on such a starved, conservative
+			// analysis, so the full pipeline is not run here.
+			ovProg, err := pipeline.Compile("fuzz.icc", src, pipeline.Config{Mode: pipeline.ModeDirect})
+			if err != nil {
+				t.Fatalf("overflow compile: %v", err)
+			}
+			ovW := analysis.Analyze(compiled["direct"].Source,
+				analysis.Options{Tags: true, MaxContours: 17})
+			ovS := analysis.Analyze(ovProg.Source,
+				analysis.Options{Tags: true, MaxContours: 17, Solver: analysis.SolverSweep})
+			if dw, ds := ovW.String(), ovS.String(); dw != ds {
+				t.Errorf("worklist and sweep analyses differ under contour overflow\nprogram:\n%s\nworklist:\n%s\nsweep:\n%s", src, dw, ds)
+			}
 			for _, c := range configs[1:] {
 				if outputs[c.name] != outputs["direct"] {
 					t.Errorf("%s differs from direct\nprogram:\n%s\ndirect:\n%s\n%s:\n%s",
