@@ -5,15 +5,22 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-analysis figs
+.PHONY: check build test race vet check-json bench bench-analysis figs
 
-check: build vet race
+check: build vet race check-json
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Golden JSON schema check: the serialized shapes of Explain decisions,
+# CompileStats, and the structured rejection reasons are public contract
+# (evidence steps, reason codes, field ordering). Wall times are the one
+# nondeterministic field and the tests normalize them.
+check-json:
+	$(GO) test . -run 'JSON|Golden' -count=1
 
 test:
 	$(GO) test ./...

@@ -9,13 +9,14 @@
 //
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|all] [-scale small|medium|default]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|all] [-scale small|medium|default]
 //	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
 //
 // The extra "analysis" figure benchmarks the analysis phase itself
-// (worklist vs sweep solver; see DESIGN.md). It is timing-sensitive, so
-// -fig all skips it: request it explicitly (`make bench-analysis` emits
-// it as BENCH_analysis.json).
+// (worklist vs sweep solver; see DESIGN.md), and "phases" breaks every
+// compilation down by pipeline phase using the trace sink. Both are
+// timing-sensitive, so -fig all skips them: request them explicitly
+// (`make bench-analysis` emits the former as BENCH_analysis.json).
 package main
 
 import (
@@ -45,27 +46,27 @@ type figure struct {
 // tables are printed, whatever order they finish computing in).
 var figures = []figure{
 	{
-		name: "14",
+		name:    "14",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig14(s) },
 		print:   func(w io.Writer, rows any) { bench.PrintFig14(w, rows.([]bench.Fig14Row)) },
 	},
 	{
-		name: "15",
+		name:    "15",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig15(s) },
 		print:   func(w io.Writer, rows any) { bench.PrintFig15(w, rows.([]bench.Fig15Row)) },
 	},
 	{
-		name: "16",
+		name:    "16",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig16(s) },
 		print:   func(w io.Writer, rows any) { bench.PrintFig16(w, rows.([]bench.Fig16Row)) },
 	},
 	{
-		name: "17",
+		name:    "17",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.Fig17(s) },
 		print:   func(w io.Writer, rows any) { bench.PrintFig17(w, rows.([]bench.Fig17Row)) },
 	},
 	{
-		name: "A1",
+		name:    "A1",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.AblationLayout(s) },
 		print: func(w io.Writer, rows any) {
 			fmt.Fprintln(w, "Ablation A1: inlined-array layout (OOPACK)")
@@ -75,12 +76,12 @@ var figures = []figure{
 		},
 	},
 	{
-		name: "A2",
+		name:    "A2",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.AblationCostModel(s) },
 		print:   func(w io.Writer, rows any) { bench.PrintAblationCost(w, rows.([]bench.AblationCostRow)) },
 	},
 	{
-		name: "A3",
+		name:    "A3",
 		compute: func(e *bench.Engine, s bench.Scale) (any, error) { return e.AblationTagDepth(s) },
 		print: func(w io.Writer, rows any) {
 			fmt.Fprintln(w, "Ablation A3: tag-depth cap vs fields inlined")
@@ -95,10 +96,16 @@ var figures = []figure{
 		print:        func(w io.Writer, rows any) { bench.PrintAnalysisBench(w, rows.([]bench.AnalysisBenchRow)) },
 		explicitOnly: true,
 	},
+	{
+		name:         "phases",
+		compute:      func(e *bench.Engine, s bench.Scale) (any, error) { return e.Phases(s) },
+		print:        func(w io.Writer, rows any) { bench.PrintPhases(w, rows.([]bench.PhaseRow)) },
+		explicitOnly: true,
+	},
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
 	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
@@ -107,16 +114,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	var scale bench.Scale
-	switch *scaleName {
-	case "small":
-		scale = bench.ScaleSmall
-	case "medium":
-		scale = bench.ScaleMedium
-	case "default":
-		scale = bench.ScaleDefault
-	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	scale, err := bench.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
 	}
 
 	var wanted []figure

@@ -1,6 +1,7 @@
 // Command oic is the object-inlining compiler driver: it compiles and runs
 // Mini-ICC programs under the direct, baseline, or inlining pipeline and
-// can dump the IR, the analysis state, and the inlining decision.
+// can dump the IR, the analysis state, the inlining decision, per-phase
+// timings, and the provenance of a single field's verdict.
 //
 // Usage:
 //
@@ -11,22 +12,43 @@
 //	-mode direct|baseline|inline   pipeline (default inline)
 //	-parallel                      use the parallel inlined-array layout
 //	-dump ir|analysis|report       print internals instead of metrics
+//	-explain Class.field           explain one field's inlining decision
+//	-trace                         record and print per-phase compile times
+//	-json                          emit explain/metrics/stats as JSON
 //	-metrics                       print dynamic metrics after the run
 //	-norun                         compile only
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"objinline"
+	"objinline/internal/trace"
 )
 
+// envelope is the -json output: only the sections the flags requested are
+// present.
+type envelope struct {
+	File     string                  `json:"file"`
+	Mode     string                  `json:"mode"`
+	CodeSize int                     `json:"code_size"`
+	Inlined  []string                `json:"inlined,omitempty"`
+	Explain  *objinline.Decision     `json:"explain,omitempty"`
+	Stats    *objinline.CompileStats `json:"stats,omitempty"`
+	Metrics  *objinline.Metrics      `json:"metrics,omitempty"`
+}
+
 func main() {
-	mode := flag.String("mode", "inline", "pipeline: direct, baseline, or inline")
+	modeName := flag.String("mode", "inline", "pipeline: direct, baseline, or inline")
 	parallel := flag.Bool("parallel", false, "use the parallel inlined-array layout")
 	dump := flag.String("dump", "", "dump internals: ir, analysis, or report")
+	explain := flag.String("explain", "", "explain one field's inlining decision (e.g. Rectangle.lower_left)")
+	doTrace := flag.Bool("trace", false, "record per-phase compile (and run) times")
+	asJSON := flag.Bool("json", false, "emit explain/metrics/stats as JSON on stdout")
 	metrics := flag.Bool("metrics", false, "print dynamic metrics after the run")
 	noRun := flag.Bool("norun", false, "compile only; do not execute")
 	flag.Parse()
@@ -42,19 +64,17 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := objinline.Config{ParallelArrays: *parallel}
-	switch *mode {
-	case "direct":
-		cfg.Mode = objinline.Direct
-	case "baseline":
-		cfg.Mode = objinline.Baseline
-	case "inline":
-		cfg.Mode = objinline.Inline
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	mode, err := objinline.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := objinline.Config{Mode: mode, ParallelArrays: *parallel}
+	var opts []objinline.Option
+	if *doTrace {
+		opts = append(opts, objinline.WithTracing())
 	}
 
-	prog, err := objinline.Compile(file, string(src), cfg)
+	prog, err := objinline.Compile(file, string(src), cfg, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,23 +94,93 @@ func main() {
 		fatal(fmt.Errorf("unknown dump kind %q", *dump))
 	}
 
-	if *noRun {
+	env := envelope{File: file, Mode: prog.Mode().String(), CodeSize: prog.CodeSize()}
+	if *asJSON {
+		env.Inlined = prog.InlinedFields()
+	}
+
+	if *explain != "" {
+		d, err := prog.Explain(*explain)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			env.Explain = &d
+		} else {
+			printExplain(d)
+		}
+	}
+
+	// A program being explained is being inspected, not executed;
+	// everything else runs unless -norun.
+	run := !*noRun && *explain == ""
+	if run {
+		// Under -json, stdout must be exactly the envelope; the program's
+		// own output moves to stderr.
+		out := io.Writer(os.Stdout)
+		if *asJSON {
+			out = os.Stderr
+		}
+		m, err := prog.Run(objinline.RunOptions{Output: out})
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			env.Metrics = &m
+		} else if *metrics {
+			printMetrics(m)
+		}
+	} else if !*asJSON && *explain == "" {
 		fmt.Fprintf(os.Stderr, "compiled %s: %d instructions\n", file, prog.CodeSize())
-		return
 	}
-	m, err := prog.Run(objinline.RunOptions{Output: os.Stdout})
-	if err != nil {
-		fatal(err)
+
+	if *doTrace {
+		st := prog.CompileStats()
+		if *asJSON {
+			env.Stats = &st
+		} else {
+			trace.WriteTable(os.Stderr, st.Phases)
+		}
 	}
-	if *metrics {
-		fmt.Fprintf(os.Stderr, "cycles: %d\n", m.Cycles)
-		fmt.Fprintf(os.Stderr, "instructions: %d\n", m.Instructions)
-		fmt.Fprintf(os.Stderr, "dereferences: %d (dynamic lookups %d)\n", m.Dereferences, m.DynFieldLookups)
-		fmt.Fprintf(os.Stderr, "dispatches: %d, static calls: %d\n", m.Dispatches, m.StaticCalls)
-		fmt.Fprintf(os.Stderr, "heap objects: %d, stack temporaries: %d, arrays: %d (%d bytes)\n",
-			m.HeapObjects, m.StackObjects, m.Arrays, m.BytesAllocated)
-		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", m.CacheHits, m.CacheMisses)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
+			fatal(err)
+		}
 	}
+}
+
+func printExplain(d objinline.Decision) {
+	fmt.Printf("%s: %s", d.Field, d.Verdict)
+	if d.Code != "" && d.Verdict != objinline.VerdictInlined {
+		fmt.Printf(" [%s]", d.Code)
+	}
+	fmt.Println()
+	if d.Reason != "" {
+		fmt.Printf("  reason: %s\n", d.Reason)
+	}
+	for _, s := range d.Evidence {
+		fmt.Printf("  - %s", s.What)
+		if s.Where != "" {
+			fmt.Printf(" @ %s", s.Where)
+		}
+		if s.Detail != "" {
+			fmt.Printf(": %s", s.Detail)
+		}
+		fmt.Println()
+	}
+}
+
+func printMetrics(m objinline.Metrics) {
+	fmt.Fprintf(os.Stderr, "cycles: %d\n", m.Cycles)
+	fmt.Fprintf(os.Stderr, "instructions: %d\n", m.Instructions)
+	fmt.Fprintf(os.Stderr, "dereferences: %d (dynamic lookups %d)\n", m.Dereferences, m.DynFieldLookups)
+	fmt.Fprintf(os.Stderr, "dispatches: %d, static calls: %d\n", m.Dispatches, m.StaticCalls)
+	fmt.Fprintf(os.Stderr, "heap objects: %d, stack temporaries: %d, arrays: %d (%d bytes)\n",
+		m.HeapObjects, m.StackObjects, m.Arrays, m.BytesAllocated)
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", m.CacheHits, m.CacheMisses)
 }
 
 func fatal(err error) {

@@ -99,6 +99,34 @@ func main() {
 	// kept as reference: H.p
 }
 
+// ExampleProgram_Explain traces one field's inlining verdict back to the
+// evidence that produced it.
+func ExampleProgram_Explain() {
+	src := `
+class P { x; def init(x) { self.x = x; } }
+class H { p; def init(p) { self.p = p; } }
+func main() {
+  var shared = new P(1);
+  var h1 = new H(shared);
+  var h2 = new H(shared);
+  print(h1.p == h2.p);
+}
+`
+	prog, _ := objinline.Compile("alias.icc", src, objinline.Config{Mode: objinline.Inline})
+	d, err := prog.Explain("H.p")
+	if err != nil {
+		fmt.Println("explain failed:", err)
+		return
+	}
+	fmt.Println("verdict:", d.Verdict)
+	fmt.Println("code:", d.Code)
+	fmt.Println("first evidence:", d.Evidence[0].What)
+	// Output:
+	// verdict: rejected
+	// code: store-not-by-value
+	// first evidence: pass-by-value-failed
+}
+
 // ExampleBenchmarks lists the bundled evaluation suite.
 func ExampleBenchmarks() {
 	for _, name := range objinline.Benchmarks() {

@@ -142,6 +142,19 @@ func (s Scale) String() string {
 	return "default"
 }
 
+// ParseScale parses a workload-scale name as rendered by Scale.String.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "default":
+		return ScaleDefault, nil
+	}
+	return 0, fmt.Errorf("bench: unknown scale %q (want small, medium, or default)", s)
+}
+
 // Source loads and instantiates the benchmark source.
 func (p Program) Source(v Variant, s Scale) (string, error) {
 	file := p.File

@@ -31,7 +31,7 @@ func (e *Engine) Fig14(scale Scale) ([]Fig14Row, error) {
 		d := c.Optimize.Decision
 		rej := make(map[string]string)
 		for k, why := range d.Rejected {
-			rej[k.String()] = why
+			rej[k.String()] = why.String()
 		}
 		return Fig14Row{
 			Program:   p.Name,

@@ -1,0 +1,85 @@
+package bench
+
+// The per-phase compilation benchmark: compiles every benchmark program
+// under every mode with a trace sink attached and reports where the
+// compiler spends its time, one column per pipeline phase. Timing-
+// sensitive like the analysis benchmark, so `-fig all` skips it; request
+// it with `objbench -fig phases`.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"objinline/internal/pipeline"
+	"objinline/internal/trace"
+)
+
+// PhaseRow is one (program, mode) compilation's phase breakdown.
+type PhaseRow struct {
+	Program string `json:"program"`
+	Mode    string `json:"mode"`
+	// Phases holds the recorded events in pipeline order.
+	Phases []trace.Event `json:"phases"`
+	// TotalNanos sums the phase times.
+	TotalNanos int64 `json:"total_nanos"`
+}
+
+// Phases compiles every (program, mode) pair with tracing on and returns
+// the phase timings. Compilations run fresh and sequentially — the
+// engine's memoized results would report a cache hit's wall time — so the
+// figure is explicit-only.
+func (e *Engine) Phases(scale Scale) ([]PhaseRow, error) {
+	modes := []pipeline.Mode{pipeline.ModeDirect, pipeline.ModeBaseline, pipeline.ModeInline}
+	var rows []PhaseRow
+	for _, p := range Programs {
+		src, err := p.Source(VariantAuto, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			sink := &trace.Sink{}
+			if _, err := pipeline.Compile(p.Name+".icc", src, pipeline.Config{Mode: mode, Trace: sink}); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.Name, mode, err)
+			}
+			rows = append(rows, PhaseRow{
+				Program:    p.Name,
+				Mode:       mode.String(),
+				Phases:     sink.Events(),
+				TotalNanos: sink.TotalNanos(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintPhases renders the phase-time table, one column per phase.
+func PrintPhases(w io.Writer, rows []PhaseRow) {
+	fmt.Fprintln(w, "Compilation phases: wall time per pipeline stage")
+	fmt.Fprintf(w, "  %-14s %-9s", "program", "mode")
+	for _, p := range trace.Phases {
+		if p == trace.PhaseRun {
+			continue
+		}
+		fmt.Fprintf(w, " %10s", p)
+	}
+	fmt.Fprintf(w, " %10s\n", "total")
+	for _, r := range rows {
+		byPhase := make(map[trace.Phase]int64, len(r.Phases))
+		for _, ev := range r.Phases {
+			byPhase[ev.Phase] += ev.Nanos
+		}
+		fmt.Fprintf(w, "  %-14s %-9s", r.Program, r.Mode)
+		for _, p := range trace.Phases {
+			if p == trace.PhaseRun {
+				continue
+			}
+			if ns, ok := byPhase[p]; ok {
+				fmt.Fprintf(w, " %10s", time.Duration(ns).Round(time.Microsecond))
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintf(w, " %10s\n", time.Duration(r.TotalNanos).Round(time.Microsecond))
+	}
+}

@@ -46,11 +46,7 @@ func Optimize(prog *ir.Program, res *analysis.Result, opts Options) (*Result, er
 	if opts.Inline {
 		d = decide(prog, res, val)
 	} else {
-		d = &Decision{
-			Inlined:  make(map[analysis.FieldKey]bool),
-			Initial:  make(map[analysis.FieldKey]bool),
-			Rejected: make(map[analysis.FieldKey]string),
-		}
+		d = newDecision()
 		d.ObjectFields = append(res.ObjectFields(), res.ObjectArraySites()...)
 	}
 
@@ -62,10 +58,10 @@ func Optimize(prog *ir.Program, res *analysis.Result, opts Options) (*Result, er
 		vs.subver = subver
 		if !vs.build() {
 			changed := false
-			for k, reason := range vs.conflicts {
+			for k, conflict := range vs.conflicts {
 				if d.Inlined[k] {
-					delete(d.Inlined, k)
-					d.Rejected[k] = reason
+					d.reject(k, because(ReasonLayoutConflict, conflict,
+						Step{What: "layout-conflict", Where: k.String(), Detail: conflict}))
 					changed = true
 				}
 			}
@@ -95,8 +91,7 @@ func Optimize(prog *ir.Program, res *analysis.Result, opts Options) (*Result, er
 			changed := false
 			for k, reason := range m.rejects {
 				if d.Inlined[k] {
-					delete(d.Inlined, k)
-					d.Rejected[k] = reason
+					d.reject(k, reason)
 					changed = true
 				}
 			}

@@ -381,7 +381,7 @@ func main() {
 `)
 	found := false
 	for k, why := range opt.Decision.Rejected {
-		if k.String() == "H.p" && why != "" {
+		if k.String() == "H.p" && why.Message != "" && why.Code != "" {
 			found = true
 		}
 	}

@@ -3,26 +3,41 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"objinline/internal/analysis"
 	"objinline/internal/ir"
 )
 
 // Decision is the outcome of the inlinability analysis: the set of fields
-// (and array-allocation sites) that will be inline allocated, plus the
-// reasons rejected candidates were dropped (reported in Figure 14 and
-// EXPERIMENTS.md).
+// (and array-allocation sites) that will be inline allocated, plus a
+// structured provenance record per candidate — the reasons rejected
+// candidates were dropped (reported in Figure 14 and EXPERIMENTS.md) and
+// the evidence accepted candidates passed on.
 type Decision struct {
 	// Inlined is the final candidate set.
 	Inlined map[analysis.FieldKey]bool
 	// Initial is the candidate set before global consistency pruning.
 	Initial map[analysis.FieldKey]bool
 	// Rejected maps each rejected candidate (or non-candidate object
-	// field) to the reason.
-	Rejected map[analysis.FieldKey]string
+	// field) to the structured reason.
+	Rejected map[analysis.FieldKey]Reason
+	// Accepted maps each surviving candidate to the evidence chain it
+	// passed: content checks, per-store PassByValue proofs, and global
+	// consistency.
+	Accepted map[analysis.FieldKey][]Step
 	// ObjectFields is the Figure 14 denominator: every field that holds
 	// objects, plus every array site holding objects.
 	ObjectFields []analysis.FieldKey
+}
+
+func newDecision() *Decision {
+	return &Decision{
+		Inlined:  make(map[analysis.FieldKey]bool),
+		Initial:  make(map[analysis.FieldKey]bool),
+		Rejected: make(map[analysis.FieldKey]Reason),
+		Accepted: make(map[analysis.FieldKey][]Step),
+	}
 }
 
 // Has reports whether key was selected for inlining.
@@ -38,24 +53,30 @@ func (d *Decision) InlinedKeys() []analysis.FieldKey {
 	return out
 }
 
+// reject drops a candidate, recording the first reason it was dropped for
+// (later rejections of an already-rejected key keep the original record).
+func (d *Decision) reject(k analysis.FieldKey, r Reason) {
+	if d.Inlined[k] {
+		delete(d.Inlined, k)
+	}
+	delete(d.Accepted, k)
+	if _, dup := d.Rejected[k]; !dup {
+		d.Rejected[k] = r
+	}
+}
+
+// note appends evidence to a (still) accepted candidate's chain.
+func (d *Decision) note(k analysis.FieldKey, s Step) {
+	if d.Inlined[k] {
+		d.Accepted[k] = append(d.Accepted[k], s)
+	}
+}
+
 // decide runs use-specialization consistency plus assignment-
 // specialization safety over the analysis result.
 func decide(prog *ir.Program, res *analysis.Result, val *valuability) *Decision {
-	d := &Decision{
-		Inlined:  make(map[analysis.FieldKey]bool),
-		Initial:  make(map[analysis.FieldKey]bool),
-		Rejected: make(map[analysis.FieldKey]string),
-	}
+	d := newDecision()
 	d.ObjectFields = append(res.ObjectFields(), res.ObjectArraySites()...)
-
-	reject := func(k analysis.FieldKey, reason string) {
-		if d.Inlined[k] {
-			delete(d.Inlined, k)
-		}
-		if _, dup := d.Rejected[k]; !dup {
-			d.Rejected[k] = reason
-		}
-	}
 
 	// Local candidate filters: field contents must be a single class of
 	// plain objects, stored values must be original objects (NoField), and
@@ -68,12 +89,13 @@ func decide(prog *ir.Program, res *analysis.Result, val *valuability) *Decision 
 		}
 	}
 	for _, k := range res.ObjectFields() {
-		reason := fieldLocallyInlinable(k, ocsByKey[k])
-		if reason != "" {
-			reject(k, reason)
+		accept, rej := fieldLocallyInlinable(k, ocsByKey[k])
+		if rej.Code != "" {
+			d.reject(k, rej)
 			continue
 		}
 		d.Inlined[k] = true
+		d.Accepted[k] = accept
 	}
 	acsByKey := make(map[analysis.FieldKey][]*analysis.ArrContour)
 	for _, ac := range res.Arrs {
@@ -81,20 +103,21 @@ func decide(prog *ir.Program, res *analysis.Result, val *valuability) *Decision 
 		acsByKey[k] = append(acsByKey[k], ac)
 	}
 	for _, k := range res.ObjectArraySites() {
-		reason := arrayLocallyInlinable(acsByKey[k])
-		if reason != "" {
-			reject(k, reason)
+		accept, rej := arrayLocallyInlinable(acsByKey[k])
+		if rej.Code != "" {
+			d.reject(k, rej)
 			continue
 		}
 		d.Inlined[k] = true
+		d.Accepted[k] = accept
 	}
 
 	// Assignment specialization: every store into a candidate must pass
 	// the by-value check.
-	checkStores(prog, res, val, d, reject)
+	checkStores(prog, res, val, d)
 
 	// Containment cycles cannot be flattened.
-	rejectContainmentCycles(res, ocsByKey, d, reject)
+	rejectContainmentCycles(res, ocsByKey, d)
 
 	for k := range d.Inlined {
 		d.Initial[k] = true
@@ -105,6 +128,12 @@ func decide(prog *ir.Program, res *analysis.Result, val *valuability) *Decision 
 	// the given field must not be confused with tags from any other
 	// field").
 	pruneInconsistent(prog, res, d)
+	for k := range d.Inlined {
+		d.note(k, Step{
+			What:   "globally-consistent",
+			Detail: "every value the field's contents flow into resolves to a single representation",
+		})
+	}
 	return d
 }
 
@@ -113,9 +142,12 @@ func arrKey(ac *analysis.ArrContour) analysis.FieldKey {
 }
 
 // fieldLocallyInlinable checks the per-contour content conditions for an
-// object field; it returns a rejection reason or "".
-func fieldLocallyInlinable(k analysis.FieldKey, ocs []*analysis.ObjContour) string {
+// object field, returning either the evidence chain the field passed or
+// the structured rejection.
+func fieldLocallyInlinable(k analysis.FieldKey, ocs []*analysis.ObjContour) ([]Step, Reason) {
 	sawContent := false
+	contentClass := ""
+	contours := 0
 	for _, oc := range ocs {
 		st := oc.FieldState(k.Name)
 		if st == nil {
@@ -124,69 +156,126 @@ func fieldLocallyInlinable(k analysis.FieldKey, ocs []*analysis.ObjContour) stri
 		if st.TS.IsEmpty() {
 			continue // this contour never stores the field
 		}
+		where := oc.String() + "." + k.Name
 		if st.TS.Prims != 0 {
 			if st.TS.Prims == analysis.PNil && !st.TS.HasObjects() {
 				continue
 			}
-			return "field may hold nil or primitives"
+			return nil, because(ReasonHoldsPrimitives, "field may hold nil or primitives",
+				Step{What: "content-primitives", Where: where, Detail: "abstract content " + st.TS.String()})
 		}
 		if len(st.TS.Arrs) > 0 {
-			return "field holds arrays (array-into-object inlining unsupported)"
+			return nil, because(ReasonHoldsArrays, "field holds arrays (array-into-object inlining unsupported)",
+				Step{What: "content-array", Where: where, Detail: "abstract content " + st.TS.String()})
 		}
 		classes := st.TS.Classes()
 		if len(classes) != 1 {
-			return fmt.Sprintf("field polymorphic within one contour (%v)", classes)
+			return nil, because(ReasonPolymorphic, fmt.Sprintf("field polymorphic within one contour (%v)", classes),
+				Step{What: "content-polymorphic", Where: where,
+					Detail: "one contour stores classes " + strings.Join(classes, ", ")})
 		}
 		heads, noField, top := st.Tags.Heads()
 		if top {
-			return "stored values have confused provenance"
+			return nil, because(ReasonConfusedStores, "stored values have confused provenance",
+				Step{What: "tag-confusion", Where: where, Detail: "stored-value tags " + st.Tags.String()})
 		}
 		if len(heads) > 0 || !noField {
-			return "stored values are not original objects"
+			return nil, because(ReasonNotOriginal, "stored values are not original objects",
+				Step{What: "stored-from-field", Where: where,
+					Detail: "stored values carry field provenance " + st.Tags.String()})
 		}
 		sawContent = true
+		contentClass = classes[0]
+		contours++
 	}
 	if !sawContent {
-		return "field never stores an object"
+		return nil, because(ReasonNeverStored, "field never stores an object")
 	}
-	return ""
+	return []Step{{
+		What:   "content-monomorphic",
+		Where:  k.String(),
+		Detail: fmt.Sprintf("all stores hold class %s (checked over %d object contours)", contentClass, contours),
+	}, {
+		What:   "original-stores",
+		Where:  k.String(),
+		Detail: "every stored value is an original object (NoField provenance)",
+	}}, Reason{}
 }
 
-func arrayLocallyInlinable(acs []*analysis.ArrContour) string {
+func arrayLocallyInlinable(acs []*analysis.ArrContour) ([]Step, Reason) {
 	elemClass := ""
+	contours := 0
 	for _, ac := range acs {
 		st := &ac.Elem
 		if st.TS.IsEmpty() {
 			continue
 		}
+		where := ac.String()
 		if st.TS.Prims != 0 || len(st.TS.Arrs) > 0 {
-			return "elements may hold nil, primitives, or arrays"
+			return nil, because(ReasonHoldsPrimitives, "elements may hold nil, primitives, or arrays",
+				Step{What: "content-primitives", Where: where, Detail: "abstract element content " + st.TS.String()})
 		}
 		classes := st.TS.Classes()
 		if len(classes) != 1 {
-			return fmt.Sprintf("array polymorphic (%v)", classes)
+			return nil, because(ReasonPolymorphic, fmt.Sprintf("array polymorphic (%v)", classes),
+				Step{What: "content-polymorphic", Where: where,
+					Detail: "one contour's elements hold classes " + strings.Join(classes, ", ")})
 		}
 		if elemClass == "" {
 			elemClass = classes[0]
 		} else if elemClass != classes[0] {
-			return "array site polymorphic across contours"
+			return nil, because(ReasonPolymorphic, "array site polymorphic across contours",
+				Step{What: "content-polymorphic", Where: where,
+					Detail: fmt.Sprintf("contours disagree on the element class (%s vs %s)", elemClass, classes[0])})
 		}
 		heads, noField, top := st.Tags.Heads()
 		if top || len(heads) > 0 || !noField {
-			return "stored elements are not original objects"
+			return nil, because(ReasonNotOriginal, "stored elements are not original objects",
+				Step{What: "stored-from-field", Where: where,
+					Detail: "stored elements carry field provenance " + st.Tags.String()})
 		}
+		contours++
 	}
 	if elemClass == "" {
-		return "array never stores an object"
+		return nil, because(ReasonNeverStored, "array never stores an object")
 	}
-	return ""
+	return []Step{{
+		What:   "content-monomorphic",
+		Detail: fmt.Sprintf("all element stores hold class %s (checked over %d array contours)", elemClass, contours),
+	}, {
+		What:   "original-stores",
+		Detail: "every stored element is an original object (NoField provenance)",
+	}}, Reason{}
 }
 
 // checkStores applies assignment specialization (§4.2) to every store
-// into a candidate field or array.
-func checkStores(prog *ir.Program, res *analysis.Result, val *valuability, d *Decision, reject func(analysis.FieldKey, string)) {
+// into a candidate field or array, recording per-store evidence either
+// way: a failing store carries the exact PassByValue violation, a passing
+// one the positive proof.
+func checkStores(prog *ir.Program, res *analysis.Result, val *valuability, d *Decision) {
 	// Receiver type info is contour-level; collect, per function and
-	// instruction, the union of receiver contours.
+	// instruction, the union of receiver contours. Evidence is recorded
+	// once per (candidate, store instruction), not per contour pair.
+	type storeKey struct {
+		k  analysis.FieldKey
+		in *ir.Instr
+	}
+	noted := make(map[storeKey]bool)
+	check := func(fn *ir.Func, in *ir.Instr, k analysis.FieldKey, failMsg string) {
+		if !d.Inlined[k] || noted[storeKey{k, in}] {
+			return
+		}
+		noted[storeKey{k, in}] = true
+		if val.SafeStore(fn, in) {
+			d.note(k, Step{
+				What:   "store-convertible",
+				Where:  in.Pos.String(),
+				Detail: "store passes PassByValue and becomes a copy",
+			})
+			return
+		}
+		d.reject(k, because(ReasonUnsafeStore, failMsg, val.ExplainStore(fn, in)...))
+	}
 	for _, mc := range res.Mcs {
 		fn := mc.Fn
 		fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
@@ -199,23 +288,14 @@ func checkStores(prog *ir.Program, res *analysis.Result, val *valuability, d *De
 						continue
 					}
 					k := analysis.FieldKey{Class: owner, Name: in.Field.Name}
-					if !d.Inlined[k] {
-						continue
-					}
-					if !val.SafeStore(fn, in) {
-						reject(k, fmt.Sprintf("store at %s not convertible to a copy (value may be aliased or used later)", in.Pos))
-					}
+					check(fn, in, k,
+						fmt.Sprintf("store at %s not convertible to a copy (value may be aliased or used later)", in.Pos))
 				}
 			case ir.OpArrSet:
 				base := mc.Reg(in.Args[0])
 				for _, ac := range base.TS.ArrList() {
-					k := arrKey(ac)
-					if !d.Inlined[k] {
-						continue
-					}
-					if !val.SafeStore(fn, in) {
-						reject(k, fmt.Sprintf("element store at %s not convertible to a copy", in.Pos))
-					}
+					check(fn, in, arrKey(ac),
+						fmt.Sprintf("element store at %s not convertible to a copy", in.Pos))
 				}
 			}
 		})
@@ -233,7 +313,7 @@ func fieldOwner(c *ir.Class, name string) *ir.Class {
 
 // rejectContainmentCycles drops candidates that would flatten a class into
 // itself (directly or transitively).
-func rejectContainmentCycles(res *analysis.Result, ocsByKey map[analysis.FieldKey][]*analysis.ObjContour, d *Decision, reject func(analysis.FieldKey, string)) {
+func rejectContainmentCycles(res *analysis.Result, ocsByKey map[analysis.FieldKey][]*analysis.ObjContour, d *Decision) {
 	// Edges: container class -> child class per candidate field.
 	for changed := true; changed; {
 		changed = false
@@ -303,7 +383,14 @@ func rejectContainmentCycles(res *analysis.Result, ocsByKey map[analysis.FieldKe
 			stack = stack[:0]
 			clear(onStack)
 			if bad := dfs(c); bad != nil {
-				reject(*bad, "containment cycle (class would inline into itself)")
+				names := make([]string, 0, len(stack))
+				for _, sc := range stack {
+					names = append(names, sc.Name)
+				}
+				d.reject(*bad, because(ReasonContainmentCycle,
+					"containment cycle (class would inline into itself)",
+					Step{What: "containment-cycle", Where: bad.String(),
+						Detail: "containment chain " + strings.Join(names, " -> ")}))
 				changed = true
 				break
 			}
@@ -343,6 +430,18 @@ func candidateContentClasses(res *analysis.Result, d *Decision) map[string][]ana
 // comparisons, dynamic dispatch on array interiors) are rep-free.
 func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 	has := func(k analysis.FieldKey) bool { return d.Inlined[k] }
+	// budgetStep flags, on confusion-based rejections, that the analysis
+	// ran out of contour budget — the split that would have kept the tags
+	// apart never happened, so the confusion may be an artifact of the
+	// MaxContours cap rather than true aliasing.
+	var budgetStep []Step
+	if res.Overflowed {
+		budgetStep = []Step{{
+			What: "contour-budget-exhausted",
+			Detail: fmt.Sprintf("analysis hit MaxContours=%d and stopped splitting; tags from distinct contexts merged conservatively",
+				res.Opts.MaxContours),
+		}}
+	}
 	for round := 0; round < len(d.Initial)+2; round++ {
 		removedAny := false
 		byClass := candidateContentClasses(res, d)
@@ -356,7 +455,7 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 			return false
 		}
 		var confusedTS *analysis.TypeSet
-		remove := func(rep analysis.Rep, tags *analysis.TagSet, reason string) {
+		remove := func(rep analysis.Rep, tags *analysis.TagSet, code ReasonCode, reason string, ev Step) {
 			victims := rep.Involved
 			if len(victims) == 0 {
 				victims = rep.Fields
@@ -383,10 +482,10 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 				keys = append(keys, k)
 			}
 			sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+			evidence := append([]Step{ev}, budgetStep...)
 			for _, k := range keys {
 				if d.Inlined[k] {
-					delete(d.Inlined, k)
-					d.Rejected[k] = reason
+					d.reject(k, because(code, reason, evidence...))
 					removedAny = true
 				}
 			}
@@ -399,11 +498,17 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 			rep := res.RepsOf(&v.Tags, has)
 			switch {
 			case rep.Confused:
-				remove(rep, &v.Tags, "value with confused provenance at "+where)
+				remove(rep, &v.Tags, ReasonTagConfusion, "value with confused provenance at "+where,
+					Step{What: "tag-confusion", Where: where,
+						Detail: "value tags " + v.Tags.String() + " resolve to confusion"})
 			case rep.Raw && len(rep.Fields) > 0:
-				remove(rep, &v.Tags, "value may be original object or inlined state at "+where)
+				remove(rep, &v.Tags, ReasonRawOrInlined, "value may be original object or inlined state at "+where,
+					Step{What: "raw-inlined-mix", Where: where,
+						Detail: "value tags " + v.Tags.String() + " resolve to both a raw object and inlined state"})
 			case len(rep.Fields) > 1:
-				remove(rep, &v.Tags, "value may come from several inlined fields at "+where)
+				remove(rep, &v.Tags, ReasonMultipleFields, "value may come from several inlined fields at "+where,
+					Step{What: "multi-field", Where: where,
+						Detail: "value tags " + v.Tags.String() + " resolve to " + fieldNames(rep.Fields)})
 			}
 		}
 		for _, mc := range res.Mcs {
@@ -437,7 +542,10 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 						confusedTS = &v.TS
 						rep := res.RepsOf(&v.Tags, has)
 						if !rep.PureRaw() && (len(rep.Fields) > 0 || rep.Confused) {
-							remove(rep, &v.Tags, "inlined value escapes to a builtin at "+in.Pos.String())
+							remove(rep, &v.Tags, ReasonEscapesBuiltin,
+								"inlined value escapes to a builtin at "+in.Pos.String(),
+								Step{What: "escapes-to-builtin", Where: in.Pos.String(),
+									Detail: "builtins take raw references; an inlined rep cannot be handed to one"})
 						}
 					}
 				case ir.OpBin:
@@ -470,7 +578,10 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 						return
 					}
 					repX.Add(repY)
-					remove(repX, &x.Tags, "identity comparison mixes inlined and other values at "+in.Pos.String())
+					remove(repX, &x.Tags, ReasonIdentityCompare,
+						"identity comparison mixes inlined and other values at "+in.Pos.String(),
+						Step{What: "identity-comparison", Where: in.Pos.String(),
+							Detail: "== / != on a value that may be an inlined rep does not preserve object identity"})
 				case ir.OpCallMethod:
 					// Dispatch on an array-interior rep must be statically
 					// bound: require one tag and one target.
@@ -485,7 +596,10 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 						return
 					}
 					if len(mc.Targets[in.ID]) > 1 || recv.Tags.Len() > 1 {
-						remove(rep, &recv.Tags, "polymorphic dispatch on array-inlined value at "+in.Pos.String())
+						remove(rep, &recv.Tags, ReasonPolyDispatch,
+							"polymorphic dispatch on array-inlined value at "+in.Pos.String(),
+							Step{What: "polymorphic-dispatch", Where: in.Pos.String(),
+								Detail: "dispatch on an array-interior rep needs a single static target"})
 					}
 				}
 			})
@@ -494,4 +608,13 @@ func pruneInconsistent(prog *ir.Program, res *analysis.Result, d *Decision) {
 			return
 		}
 	}
+}
+
+func fieldNames(fields map[analysis.FieldKey]bool) string {
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k.String())
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }

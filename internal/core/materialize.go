@@ -15,7 +15,7 @@ type materializeResult struct {
 	prog     *ir.Program
 	grouping *clone.Grouping
 	// rejects lists candidates that must be dropped before retrying.
-	rejects map[analysis.FieldKey]string
+	rejects map[analysis.FieldKey]Reason
 	// splitOCs lists object contours that need their own class subversion
 	// (dynamic dispatch could not discriminate clones otherwise).
 	splitOCs []*analysis.ObjContour
@@ -27,7 +27,7 @@ type materializeResult struct {
 // proved a single target, and per-site mangled dispatch names where
 // several clones must coexist (§5.1).
 func (t *transformer) materialize() (*materializeResult, error) {
-	res := &materializeResult{rejects: make(map[analysis.FieldKey]string)}
+	res := &materializeResult{rejects: make(map[analysis.FieldKey]Reason)}
 
 	// Build plans for every contour; plan failures reject candidates.
 	for _, mc := range t.res.Mcs {
@@ -36,7 +36,8 @@ func (t *transformer) materialize() (*materializeResult, error) {
 				return nil, fmt.Errorf("core: unattributable rewrite failure in %s: %s", mc.Fn.FullName(), err.reason)
 			}
 			for _, k := range sortKeys(err.keys) {
-				res.rejects[k] = err.reason
+				res.rejects[k] = because(ReasonRewriteFailure, err.reason,
+					Step{What: "rewrite-unrealizable", Where: mc.Fn.FullName(), Detail: err.reason})
 			}
 		}
 	}
@@ -71,7 +72,10 @@ func (t *transformer) materialize() (*materializeResult, error) {
 			}
 			if keys := p.dynRep[cp]; len(keys) > 0 {
 				for _, k := range keys {
-					res.rejects[k] = "polymorphic dispatch on inlined value at " + cp.Pos.String()
+					res.rejects[k] = because(ReasonPolyDispatch,
+						"polymorphic dispatch on inlined value at "+cp.Pos.String(),
+						Step{What: "polymorphic-dispatch", Where: cp.Pos.String(),
+							Detail: "dynamic dispatch site cannot discriminate clones of an inlined receiver"})
 				}
 				continue
 			}

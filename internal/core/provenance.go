@@ -1,0 +1,75 @@
+package core
+
+// Decision provenance: every inlining verdict carries a stable machine-
+// readable code and the structured evidence chain that produced it, so a
+// rejection can be traced back to the exact tag confusion, store, or use
+// that caused it (the observability the paper's §6.1 discussion performs
+// by hand). The free-text messages of the original implementation are
+// preserved verbatim as Reason.Message — Report() output is unchanged.
+
+// ReasonCode classifies an inlining verdict. The values are stable
+// identifiers: they appear in JSON output and golden tests.
+type ReasonCode string
+
+// Verdict and rejection codes, grouped by the paper's analysis that
+// produces them.
+const (
+	// ReasonInlined marks an accepted candidate (Explain's positive
+	// verdict; never appears in Decision.Rejected).
+	ReasonInlined ReasonCode = "inlined"
+
+	// Local content checks over the analyzed field/element states.
+	ReasonHoldsPrimitives ReasonCode = "holds-primitives"
+	ReasonHoldsArrays     ReasonCode = "holds-arrays"
+	ReasonPolymorphic     ReasonCode = "polymorphic-content"
+	ReasonConfusedStores  ReasonCode = "confused-store-provenance"
+	ReasonNotOriginal     ReasonCode = "not-original-objects"
+	ReasonNeverStored     ReasonCode = "never-stored"
+
+	// Assignment specialization (§4.2): a store could not be converted to
+	// a copy (NoStore / PassByValue failure).
+	ReasonUnsafeStore ReasonCode = "store-not-by-value"
+
+	// Structural constraint: flattening would nest a class into itself.
+	ReasonContainmentCycle ReasonCode = "containment-cycle"
+
+	// Use-specialization consistency (§4.1): tag-based representation
+	// resolution failed somewhere the value flows.
+	ReasonTagConfusion    ReasonCode = "tag-confusion"
+	ReasonRawOrInlined    ReasonCode = "raw-or-inlined"
+	ReasonMultipleFields  ReasonCode = "multiple-inlined-fields"
+	ReasonEscapesBuiltin  ReasonCode = "escapes-to-builtin"
+	ReasonIdentityCompare ReasonCode = "identity-comparison"
+	ReasonPolyDispatch    ReasonCode = "polymorphic-dispatch"
+
+	// Transformation-stage failures (version construction / rewrite).
+	ReasonLayoutConflict ReasonCode = "layout-conflict"
+	ReasonRewriteFailure ReasonCode = "rewrite-unrealizable"
+)
+
+// Step is one link in a decision's evidence chain: what was established or
+// violated, at which program point or contour, with supporting detail
+// (tag paths, class names, instruction positions).
+type Step struct {
+	What   string `json:"what"`
+	Where  string `json:"where,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Reason is one structured inlining verdict: a stable code, the
+// human-readable message (the exact report text), and the evidence chain
+// behind it.
+type Reason struct {
+	Code     ReasonCode `json:"code"`
+	Message  string     `json:"message"`
+	Evidence []Step     `json:"evidence,omitempty"`
+}
+
+// String returns the human-readable message, preserving the pre-structured
+// report format wherever a Reason is printed.
+func (r Reason) String() string { return r.Message }
+
+// because builds a Reason.
+func because(code ReasonCode, message string, evidence ...Step) Reason {
+	return Reason{Code: code, Message: message, Evidence: evidence}
+}

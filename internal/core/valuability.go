@@ -113,6 +113,17 @@ func (v *valuability) buildCallGraph() {
 			}
 		}
 	}
+	// The seen map iterates in random order; sort each caller list so
+	// everything derived from it — including the explain walker's choice
+	// of which failing call site to show — is deterministic.
+	for _, sites := range v.callers {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].fn.ID != sites[j].fn.ID {
+				return sites[i].fn.ID < sites[j].fn.ID
+			}
+			return sites[i].in.ID < sites[j].in.ID
+		})
+	}
 }
 
 // afterMatrix returns (building lazily) the instruction-level "may execute

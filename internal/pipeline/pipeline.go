@@ -17,6 +17,7 @@ import (
 	"objinline/internal/lang/sem"
 	"objinline/internal/lower"
 	"objinline/internal/peephole"
+	"objinline/internal/trace"
 	"objinline/internal/vm"
 )
 
@@ -54,6 +55,9 @@ type Config struct {
 	ArrayLayout core.Layout
 	// Analysis tweaks (zero values mean defaults).
 	Analysis analysis.Options
+	// Trace, when non-nil, receives one event per compilation phase
+	// (wall time plus per-phase counters). A nil sink costs nothing.
+	Trace *trace.Sink
 }
 
 // Compiled is a ready-to-run program plus everything the harness measures.
@@ -63,39 +67,70 @@ type Compiled struct {
 	Analysis *analysis.Result
 	Optimize *core.Result
 	Mode     Mode
+	// Trace is the sink the compilation reported its phases to (nil when
+	// tracing was off). Run appends the VM's run phase to the same sink.
+	Trace *trace.Sink
 }
 
 // Compile compiles Mini-ICC source through the configured pipeline.
 func Compile(file, src string, cfg Config) (*Compiled, error) {
+	tr := cfg.Trace
+	sp := tr.Start(trace.PhaseParse)
 	tree, err := parser.Parse(file, src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	sp = tr.Start(trace.PhaseCheck)
 	info, err := sem.Check(tree)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
+	sp = tr.Start(trace.PhaseLower)
 	prog, err := lower.Lower(info)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("lower: %w", err)
 	}
-	c := &Compiled{Source: prog, Prog: prog, Mode: cfg.Mode}
+	sp.Counter("instrs", int64(prog.CodeSize()))
+	sp.End()
+	c := &Compiled{Source: prog, Prog: prog, Mode: cfg.Mode, Trace: tr}
 	if cfg.Mode == ModeDirect {
 		return c, nil
 	}
 
 	aopts := cfg.Analysis
 	aopts.Tags = cfg.Mode == ModeInline
+	sp = tr.Start(trace.PhaseAnalysis)
 	res := analysis.Analyze(prog, aopts)
+	if tr != nil {
+		st := res.Stats()
+		sp.Counter("method-contours", int64(st.MethodContours))
+		sp.Counter("obj-contours", int64(st.ObjContours))
+		sp.Counter("passes", int64(st.Passes))
+		sp.Counter("instr-evals", int64(st.Work.InstrEvals))
+	}
+	sp.End()
 	c.Analysis = res
 
+	sp = tr.Start(trace.PhaseOptimize)
 	opt, err := core.Optimize(prog, res, core.Options{
 		Inline:      cfg.Mode == ModeInline,
 		ArrayLayout: cfg.ArrayLayout,
 	})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("optimize: %w", err)
 	}
+	sp.Counter("attempts", int64(opt.Attempts))
+	sp.Counter("clones", int64(opt.CloneStats.ClonesAdded))
+	sp.Counter("class-versions", int64(opt.ClassVersions))
+	if d := opt.Decision; d != nil {
+		sp.Counter("inlined", int64(len(d.Inlined)))
+		sp.Counter("rejected", int64(len(d.Rejected)))
+	}
+	sp.End()
 	c.Optimize = opt
 	c.Prog = opt.Prog
 
@@ -104,11 +139,17 @@ func Compile(file, src string, cfg Config) (*Compiled, error) {
 	// specialized methods are absorbed into their callers (§6.2.1's "most
 	// of the specialized methods are inlined"), then the peephole pass
 	// sweeps up the debris.
+	sp = tr.Start(trace.PhaseFuncInline)
 	funcinline.Program(c.Prog, funcinline.DefaultOptions)
+	sp.Counter("instrs", int64(c.Prog.CodeSize()))
+	sp.End()
 	if err := c.Prog.Verify(); err != nil {
 		return nil, fmt.Errorf("function inlining broke the program: %w", err)
 	}
+	sp = tr.Start(trace.PhasePeephole)
 	peephole.Program(c.Prog)
+	sp.Counter("instrs", int64(c.Prog.CodeSize()))
+	sp.End()
 	if err := c.Prog.Verify(); err != nil {
 		return nil, fmt.Errorf("peephole broke the program: %w", err)
 	}
@@ -121,15 +162,23 @@ type RunOptions struct {
 	Cache    *cachesim.Config
 	Cost     *vm.CostModel
 	MaxSteps uint64
+	// Trace overrides the sink the run phase reports to; nil falls back to
+	// the compilation's sink (which may itself be nil).
+	Trace *trace.Sink
 }
 
 // Run executes the compiled program and returns its dynamic counters.
 func (c *Compiled) Run(opts RunOptions) (vm.Counters, error) {
+	tr := opts.Trace
+	if tr == nil {
+		tr = c.Trace
+	}
 	m := vm.New(c.Prog, vm.Options{
 		Out:      opts.Out,
 		Cache:    opts.Cache,
 		Cost:     opts.Cost,
 		MaxSteps: opts.MaxSteps,
+		Trace:    tr,
 	})
 	return m.Run()
 }

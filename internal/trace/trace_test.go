@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSinkIsInertAndAllocationFree(t *testing.T) {
+	var s *Sink
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := s.Start(PhaseParse)
+		sp.Counter("instrs", 42)
+		sp.End()
+		if s.Events() != nil {
+			t.Fatal("nil sink returned events")
+		}
+		if s.TotalNanos() != 0 {
+			t.Fatal("nil sink reported time")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil-sink span cycle allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSinkRecordsEventsInOrder(t *testing.T) {
+	var s Sink
+	tick := time.Unix(0, 0)
+	s.now = func() time.Time {
+		tick = tick.Add(5 * time.Millisecond)
+		return tick
+	}
+
+	sp := s.Start(PhaseParse)
+	sp.Counter("classes", 3)
+	sp.End()
+	sp = s.Start(PhaseAnalysis)
+	sp.Counter("contours", 17)
+	sp.Counter("passes", 2)
+	sp.End()
+
+	evs := s.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Phase != PhaseParse || evs[1].Phase != PhaseAnalysis {
+		t.Errorf("phase order = %s, %s", evs[0].Phase, evs[1].Phase)
+	}
+	if evs[0].Nanos != int64(5*time.Millisecond) {
+		t.Errorf("parse nanos = %d", evs[0].Nanos)
+	}
+	if len(evs[1].Counters) != 2 || evs[1].Counters[0] != (Counter{"contours", 17}) {
+		t.Errorf("analysis counters = %v", evs[1].Counters)
+	}
+	if got, want := s.TotalNanos(), int64(10*time.Millisecond); got != want {
+		t.Errorf("TotalNanos = %d, want %d", got, want)
+	}
+}
+
+func TestEventsReturnsACopy(t *testing.T) {
+	var s Sink
+	s.Start(PhaseLower).End()
+	evs := s.Events()
+	evs[0].Phase = "mutated"
+	if s.Events()[0].Phase != PhaseLower {
+		t.Error("Events exposed internal storage")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var s Sink
+	tick := time.Unix(0, 0)
+	s.now = func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}
+	sp := s.Start(PhaseLower)
+	sp.Counter("instrs", 99)
+	sp.End()
+
+	var b strings.Builder
+	WriteTable(&b, s.Events())
+	out := b.String()
+	for _, want := range []string{"phase", "lower", "instrs=99", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

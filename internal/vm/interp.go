@@ -11,6 +11,7 @@ import (
 	"objinline/internal/ir"
 	"objinline/internal/lang/source"
 	"objinline/internal/lower"
+	"objinline/internal/trace"
 )
 
 // Options configures a Machine.
@@ -19,6 +20,7 @@ type Options struct {
 	Cost     *CostModel       // defaults to DefaultCostModel
 	Cache    *cachesim.Config // nil disables the cache model (hits assumed)
 	MaxSteps uint64           // 0 means the default limit
+	Trace    *trace.Sink      // optional phase-event sink; nil records nothing
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -38,6 +40,8 @@ type Machine struct {
 	nextAdr  uint64
 	stackAdr uint64
 
+	tr *trace.Sink
+
 	slotMaps map[*ir.Class]map[string]int
 }
 
@@ -51,6 +55,7 @@ func New(prog *ir.Program, opts Options) *Machine {
 		globals:  make([]Value, len(prog.Globals)),
 		nextAdr:  binBytes, // bin-aligned; keep address 0 unused
 		stackAdr: stackBase,
+		tr:       opts.Trace,
 		slotMaps: make(map[*ir.Class]map[string]int),
 	}
 	if m.out == nil {
@@ -95,6 +100,13 @@ func (m *Machine) fail(pos source.Pos, format string, args ...any) {
 // Run executes $init (if present) and then main, returning the accumulated
 // counters.
 func (m *Machine) Run() (c Counters, err error) {
+	sp := m.tr.Start(trace.PhaseRun)
+	defer func() {
+		sp.Counter("instructions", int64(m.counts.Instructions))
+		sp.Counter("cycles", m.counts.Cycles)
+		sp.Counter("cache-misses", int64(m.counts.CacheMisses))
+		sp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			if vp, ok := r.(vmPanic); ok {

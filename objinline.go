@@ -14,10 +14,17 @@
 //
 // Quickstart:
 //
-//	prog, err := objinline.Compile("demo.icc", src, objinline.Config{Mode: objinline.Inline})
+//	prog, err := objinline.Compile("demo.icc", src,
+//	    objinline.Config{Mode: objinline.Inline}, objinline.WithTracing())
 //	if err != nil { ... }
 //	metrics, err := prog.Run(objinline.RunOptions{Output: os.Stdout})
 //	fmt.Println(prog.InlinedFields(), metrics.Cycles)
+//
+// Every inlining verdict is observable: Explain returns the structured
+// evidence chain behind one field's decision, RejectedFields the reasons
+// for every dropped candidate, and CompileStats the per-phase timings and
+// analysis statistics recorded when tracing is on. All of it is
+// JSON-serializable for tooling.
 package objinline
 
 import (
@@ -31,6 +38,7 @@ import (
 	"objinline/internal/cachesim"
 	"objinline/internal/core"
 	"objinline/internal/pipeline"
+	"objinline/internal/trace"
 	"objinline/internal/vm"
 )
 
@@ -62,6 +70,31 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode parses a pipeline-mode name ("direct", "baseline", or
+// "inline") as rendered by Mode.String. It is the one place mode names
+// are interpreted; the CLI tools use it instead of private switches.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "direct":
+		return Direct, nil
+	case "baseline":
+		return Baseline, nil
+	case "inline":
+		return Inline, nil
+	}
+	return 0, fmt.Errorf("objinline: unknown mode %q (want direct, baseline, or inline)", s)
+}
+
+// Solver names for Config.Solver.
+const (
+	// SolverWorklist is the dependency-driven fixpoint solver (the
+	// default): only contours whose inputs changed are re-evaluated.
+	SolverWorklist = analysis.SolverWorklist
+	// SolverSweep is the naive global re-sweep, kept as the reference
+	// implementation; it computes identical results.
+	SolverSweep = analysis.SolverSweep
+)
+
 // Config configures compilation.
 type Config struct {
 	Mode Mode
@@ -73,6 +106,26 @@ type Config struct {
 	TagDepth int
 	// MaxPasses bounds the analysis's iterative refinement (default 8).
 	MaxPasses int
+	// Solver selects the analysis fixpoint engine: SolverWorklist
+	// (default) or SolverSweep.
+	Solver string
+}
+
+// Option is a functional compilation option (beyond the Config knobs that
+// shape the generated code, options configure how the compilation is
+// observed).
+type Option func(*compileSettings)
+
+type compileSettings struct {
+	trace *trace.Sink
+}
+
+// WithTracing records per-phase events (wall time and counters) during
+// compilation and execution, exposed afterwards through CompileStats.
+// Without it the program carries no sink and compilation pays nothing
+// for the instrumentation.
+func WithTracing() Option {
+	return func(s *compileSettings) { s.trace = &trace.Sink{} }
 }
 
 // Program is a compiled Mini-ICC program, ready to run.
@@ -81,7 +134,11 @@ type Program struct {
 }
 
 // Compile builds a program from Mini-ICC source text.
-func Compile(filename, src string, cfg Config) (*Program, error) {
+func Compile(filename, src string, cfg Config, opts ...Option) (*Program, error) {
+	var settings compileSettings
+	for _, o := range opts {
+		o(&settings)
+	}
 	var mode pipeline.Mode
 	switch cfg.Mode {
 	case Direct:
@@ -103,12 +160,24 @@ func Compile(filename, src string, cfg Config) (*Program, error) {
 		Analysis: analysis.Options{
 			TagDepth:  cfg.TagDepth,
 			MaxPasses: cfg.MaxPasses,
+			Solver:    cfg.Solver,
 		},
+		Trace: settings.trace,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Program{c: c}, nil
+}
+
+// CacheConfig is the simulated data cache's geometry.
+type CacheConfig struct {
+	// SizeBytes is the total capacity (default 16 KiB).
+	SizeBytes int `json:"size_bytes"`
+	// LineBytes is the cache-line size (default 32).
+	LineBytes int `json:"line_bytes"`
+	// Ways is the set associativity (default 4).
+	Ways int `json:"ways"`
 }
 
 // RunOptions configures one execution.
@@ -119,8 +188,12 @@ type RunOptions struct {
 	MaxSteps uint64
 	// DisableCache turns the cache simulator off (all accesses hit).
 	DisableCache bool
-	// Cache overrides the simulated cache geometry; zero values use the
-	// default 16 KiB, 32-byte-line, 4-way configuration.
+	// Cache overrides the simulated cache geometry; nil (or zero fields)
+	// uses the default 16 KiB, 32-byte-line, 4-way configuration.
+	Cache *CacheConfig
+
+	// Deprecated: set Cache instead. These per-field overrides predate
+	// CacheConfig and are honored only when Cache is nil.
 	CacheSizeBytes int
 	CacheLineBytes int
 	CacheWays      int
@@ -129,22 +202,22 @@ type RunOptions struct {
 // Metrics summarizes one execution's dynamic behavior. Cycles is the
 // deterministic cost-model total used throughout the evaluation.
 type Metrics struct {
-	Instructions uint64
-	Cycles       int64
+	Instructions uint64 `json:"instructions"`
+	Cycles       int64  `json:"cycles"`
 
-	Dereferences    uint64
-	DynFieldLookups uint64
-	Dispatches      uint64
-	StaticCalls     uint64
-	Calls           uint64
+	Dereferences    uint64 `json:"dereferences"`
+	DynFieldLookups uint64 `json:"dyn_field_lookups"`
+	Dispatches      uint64 `json:"dispatches"`
+	StaticCalls     uint64 `json:"static_calls"`
+	Calls           uint64 `json:"calls"`
 
-	HeapObjects    uint64
-	StackObjects   uint64
-	Arrays         uint64
-	BytesAllocated uint64
+	HeapObjects    uint64 `json:"heap_objects"`
+	StackObjects   uint64 `json:"stack_objects"`
+	Arrays         uint64 `json:"arrays"`
+	BytesAllocated uint64 `json:"bytes_allocated"`
 
-	CacheHits   uint64
-	CacheMisses uint64
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
 func metricsFrom(c vm.Counters) Metrics {
@@ -170,14 +243,22 @@ func (p *Program) Run(opts RunOptions) (Metrics, error) {
 	ro := pipeline.RunOptions{Out: opts.Output, MaxSteps: opts.MaxSteps}
 	if !opts.DisableCache {
 		cfg := cachesim.DefaultConfig
-		if opts.CacheSizeBytes > 0 {
-			cfg.SizeBytes = opts.CacheSizeBytes
+		geo := opts.Cache
+		if geo == nil {
+			geo = &CacheConfig{
+				SizeBytes: opts.CacheSizeBytes,
+				LineBytes: opts.CacheLineBytes,
+				Ways:      opts.CacheWays,
+			}
 		}
-		if opts.CacheLineBytes > 0 {
-			cfg.LineBytes = opts.CacheLineBytes
+		if geo.SizeBytes > 0 {
+			cfg.SizeBytes = geo.SizeBytes
 		}
-		if opts.CacheWays > 0 {
-			cfg.Ways = opts.CacheWays
+		if geo.LineBytes > 0 {
+			cfg.LineBytes = geo.LineBytes
+		}
+		if geo.Ways > 0 {
+			cfg.Ways = geo.Ways
 		}
 		ro.Cache = &cfg
 	}
@@ -200,31 +281,188 @@ func (p *Program) Mode() Mode {
 	}
 }
 
+// ReasonCode classifies an inlining verdict; the values are stable
+// machine-readable identifiers (see the core package for the full set).
+type ReasonCode = core.ReasonCode
+
+// ReasonInlined is the positive verdict's code; every other code marks a
+// rejection.
+const ReasonInlined = core.ReasonInlined
+
+// Step is one link in a decision's evidence chain: what was established
+// or violated, at which program point or contour, with supporting detail.
+type Step = core.Step
+
+// Reason is one structured rejection: a stable code, the human-readable
+// message (Reason.String()), and the evidence chain behind it.
+type Reason = core.Reason
+
+// Verdict is a candidate's overall outcome.
+type Verdict string
+
+// Explain verdicts.
+const (
+	// VerdictInlined marks a field the optimizer inline-allocated.
+	VerdictInlined Verdict = "inlined"
+	// VerdictRejected marks a candidate the optimizer dropped.
+	VerdictRejected Verdict = "rejected"
+	// VerdictNotCandidate marks an object field the analysis never put on
+	// the candidate list (compiled without inlining, for instance).
+	VerdictNotCandidate Verdict = "not-a-candidate"
+)
+
+// Decision is one field's explained inlining outcome, as returned by
+// Explain. It is JSON-serializable for tooling.
+type Decision struct {
+	Field   string     `json:"field"`
+	Verdict Verdict    `json:"verdict"`
+	Code    ReasonCode `json:"code,omitempty"`
+	// Reason is the human-readable message for rejections (empty for
+	// inlined fields).
+	Reason string `json:"reason,omitempty"`
+	// Evidence is the chain of established or violated conditions that
+	// produced the verdict, in discovery order.
+	Evidence []Step `json:"evidence,omitempty"`
+}
+
+// Explain returns the provenance of one field's inlining decision. The
+// field is named as InlinedFields/RejectedFields render it — e.g.
+// "Rectangle.lower_left", or "arr@<site>[]" for an array allocation site.
+func (p *Program) Explain(field string) (Decision, error) {
+	d := p.decision()
+	if d == nil {
+		return Decision{}, fmt.Errorf("objinline: no inlining decision recorded (mode %s)", p.Mode())
+	}
+	for k, why := range d.Rejected {
+		if k.String() == field {
+			return Decision{
+				Field:    field,
+				Verdict:  VerdictRejected,
+				Code:     why.Code,
+				Reason:   why.Message,
+				Evidence: why.Evidence,
+			}, nil
+		}
+	}
+	for k := range d.Inlined {
+		if k.String() == field {
+			return Decision{
+				Field:    field,
+				Verdict:  VerdictInlined,
+				Code:     ReasonInlined,
+				Evidence: d.Accepted[k],
+			}, nil
+		}
+	}
+	for _, k := range d.ObjectFields {
+		if k.String() == field {
+			return Decision{Field: field, Verdict: VerdictNotCandidate}, nil
+		}
+	}
+	return Decision{}, fmt.Errorf("objinline: %q is not an object-holding field of this program", field)
+}
+
+func (p *Program) decision() *core.Decision {
+	if p.c.Optimize == nil {
+		return nil
+	}
+	return p.c.Optimize.Decision
+}
+
 // InlinedFields lists the fields (and array allocation sites) the
 // optimizer inline-allocated, e.g. "Rectangle.lower_left". Array sites
 // render as "arr@<site>[]". Empty for non-Inline modes.
 func (p *Program) InlinedFields() []string {
-	if p.c.Optimize == nil || p.c.Optimize.Decision == nil {
+	d := p.decision()
+	if d == nil {
 		return nil
 	}
 	var out []string
-	for _, k := range p.c.Optimize.Decision.InlinedKeys() {
+	for _, k := range d.InlinedKeys() {
 		out = append(out, k.String())
 	}
 	return out
 }
 
-// RejectedFields maps each inlining candidate that was rejected to the
-// reason, mirroring the paper's §6.1 discussion.
-func (p *Program) RejectedFields() map[string]string {
-	if p.c.Optimize == nil || p.c.Optimize.Decision == nil {
+// RejectedFields maps each inlining candidate that was rejected to its
+// structured reason, mirroring the paper's §6.1 discussion. Reason's
+// String method renders the classic report text.
+func (p *Program) RejectedFields() map[string]Reason {
+	d := p.decision()
+	if d == nil {
 		return nil
 	}
-	out := make(map[string]string)
-	for k, why := range p.c.Optimize.Decision.Rejected {
+	out := make(map[string]Reason)
+	for k, why := range d.Rejected {
 		out[k.String()] = why
 	}
 	return out
+}
+
+// PhaseStat is one compilation (or run) phase's recorded event: its name,
+// wall time, and counters.
+type PhaseStat = trace.Event
+
+// AnalysisStats summarizes the contour analysis, JSON-ready.
+type AnalysisStats struct {
+	ReachedFuncs      int     `json:"reached_funcs"`
+	MethodContours    int     `json:"method_contours"`
+	ObjContours       int     `json:"obj_contours"`
+	ArrContours       int     `json:"arr_contours"`
+	Passes            int     `json:"passes"`
+	ContoursPerMethod float64 `json:"contours_per_method"`
+	Solver            string  `json:"solver"`
+	Converged         bool    `json:"converged"`
+	Work              struct {
+		Rounds       int `json:"rounds"`
+		ContourEvals int `json:"contour_evals"`
+		InstrEvals   int `json:"instr_evals"`
+		PartialEvals int `json:"partial_evals"`
+		Enqueues     int `json:"enqueues"`
+	} `json:"work"`
+}
+
+// CompileStats reports what the compilation did: per-phase events (when
+// the program was compiled WithTracing; empty otherwise) and the analysis
+// statistics (nil in Direct mode).
+type CompileStats struct {
+	// Phases lists the recorded phase events in execution order. Nanos is
+	// wall time and therefore nondeterministic; everything else is stable.
+	Phases []PhaseStat `json:"phases,omitempty"`
+	// TotalNanos sums the phase times.
+	TotalNanos int64 `json:"total_nanos,omitempty"`
+	// Analysis summarizes the contour analysis.
+	Analysis *AnalysisStats `json:"analysis,omitempty"`
+}
+
+// CompileStats returns the compilation's phase timings and analysis
+// statistics. Phase events are present only when the program was compiled
+// WithTracing.
+func (p *Program) CompileStats() CompileStats {
+	cs := CompileStats{
+		Phases:     p.c.Trace.Events(),
+		TotalNanos: p.c.Trace.TotalNanos(),
+	}
+	if p.c.Analysis != nil {
+		st := p.c.Analysis.Stats()
+		as := &AnalysisStats{
+			ReachedFuncs:      st.ReachedFuncs,
+			MethodContours:    st.MethodContours,
+			ObjContours:       st.ObjContours,
+			ArrContours:       st.ArrContours,
+			Passes:            st.Passes,
+			ContoursPerMethod: st.ContoursPerMethod,
+			Solver:            st.Solver,
+			Converged:         st.Converged,
+		}
+		as.Work.Rounds = st.Work.Rounds
+		as.Work.ContourEvals = st.Work.ContourEvals
+		as.Work.InstrEvals = st.Work.InstrEvals
+		as.Work.PartialEvals = st.Work.PartialEvals
+		as.Work.Enqueues = st.Work.Enqueues
+		cs.Analysis = as
+	}
+	return cs
 }
 
 // CodeSize returns the executable program's IR instruction count (the
