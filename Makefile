@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet check-json bench bench-analysis figs
+.PHONY: check build test race vet check-json bench bench-analysis payoff figs
 
 check: build vet race check-json
 
@@ -39,6 +39,13 @@ bench-analysis:
 	$(GO) test ./internal/bench -run '^$$' -bench BenchmarkAnalyze -benchtime 3x
 	$(GO) run ./cmd/objbench -fig analysis -json > BENCH_analysis.json
 	$(GO) run ./cmd/objbench -fig analysis
+
+# Per-field payoff attribution: profiled inlining-on vs inlining-off runs
+# joined against the optimizer's decision (docs/OBSERVABILITY.md), saved
+# as BENCH_payoff.json plus the human-readable table.
+payoff:
+	$(GO) run ./cmd/objbench -fig payoff -json > BENCH_payoff.json
+	$(GO) run ./cmd/objbench -fig payoff
 
 # Regenerate the full evaluation (figure-sized workloads).
 figs:

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|all] [-scale small|medium|default]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|payoff|all] [-scale small|medium|default]
 //	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
 //
 // The extra "analysis" figure benchmarks the analysis phase itself
@@ -17,6 +17,8 @@
 // compilation down by pipeline phase using the trace sink. Both are
 // timing-sensitive, so -fig all skips them: request them explicitly
 // (`make bench-analysis` emits the former as BENCH_analysis.json).
+// "payoff" joins profiled inlining-on/off runs into a per-field table of
+// measured savings (`make payoff` emits it as BENCH_payoff.json).
 package main
 
 import (
@@ -102,10 +104,20 @@ var figures = []figure{
 		print:        func(w io.Writer, rows any) { bench.PrintPhases(w, rows.([]bench.PhaseRow)) },
 		explicitOnly: true,
 	},
+	{
+		// Explicit-only not for timing reasons but because the profiled
+		// runs live in their own cache: folding them into -fig all would
+		// double every benchmark execution for figures that don't need
+		// the attribution.
+		name:         "payoff",
+		compute:      func(e *bench.Engine, s bench.Scale) (any, error) { return e.PayoffAll(s) },
+		print:        func(w io.Writer, rows any) { bench.PrintPayoff(w, rows.([]*bench.ProgramPayoff)) },
+		explicitOnly: true,
+	},
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, payoff, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
 	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

@@ -1,7 +1,8 @@
 // Command oic is the object-inlining compiler driver: it compiles and runs
 // Mini-ICC programs under the direct, baseline, or inlining pipeline and
 // can dump the IR, the analysis state, the inlining decision, per-phase
-// timings, and the provenance of a single field's verdict.
+// timings, a run's allocation-site profile, and the provenance of a single
+// field's verdict.
 //
 // Usage:
 //
@@ -14,7 +15,15 @@
 //	-dump ir|analysis|report       print internals instead of metrics
 //	-explain Class.field           explain one field's inlining decision
 //	-trace                         record and print per-phase compile times
-//	-json                          emit explain/metrics/stats as JSON
+//	-trace-out trace.json          write the phases as a Chrome trace-event
+//	                               file (implies -trace); load it in
+//	                               Perfetto (ui.perfetto.dev) or
+//	                               chrome://tracing. Written on every exit
+//	                               path, compile errors included.
+//	-profile                       attribute the run's allocations and
+//	                               cache misses to allocation sites and
+//	                               Class.field paths
+//	-json                          emit explain/metrics/stats/profile as JSON
 //	-metrics                       print dynamic metrics after the run
 //	-norun                         compile only
 package main
@@ -40,58 +49,96 @@ type envelope struct {
 	Explain  *objinline.Decision     `json:"explain,omitempty"`
 	Stats    *objinline.CompileStats `json:"stats,omitempty"`
 	Metrics  *objinline.Metrics      `json:"metrics,omitempty"`
+	Profile  *objinline.RunProfile   `json:"profile,omitempty"`
 }
 
 func main() {
-	modeName := flag.String("mode", "inline", "pipeline: direct, baseline, or inline")
-	parallel := flag.Bool("parallel", false, "use the parallel inlined-array layout")
-	dump := flag.String("dump", "", "dump internals: ir, analysis, or report")
-	explain := flag.String("explain", "", "explain one field's inlining decision (e.g. Rectangle.lower_left)")
-	doTrace := flag.Bool("trace", false, "record per-phase compile (and run) times")
-	asJSON := flag.Bool("json", false, "emit explain/metrics/stats as JSON on stdout")
-	metrics := flag.Bool("metrics", false, "print dynamic metrics after the run")
-	noRun := flag.Bool("norun", false, "compile only; do not execute")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: oic [flags] program.icc")
-		flag.Usage()
-		os.Exit(2)
+// run is the driver behind main, factored so tests can invoke the CLI
+// in-process with captured streams and so every exit path — compile
+// errors included — flows through the trace-file flush instead of
+// bypassing it via os.Exit.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("oic", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modeName := fs.String("mode", "inline", "pipeline: direct, baseline, or inline")
+	parallel := fs.Bool("parallel", false, "use the parallel inlined-array layout")
+	dump := fs.String("dump", "", "dump internals: ir, analysis, or report")
+	explain := fs.String("explain", "", "explain one field's inlining decision (e.g. Rectangle.lower_left)")
+	doTrace := fs.Bool("trace", false, "record per-phase compile (and run) times")
+	traceOut := fs.String("trace-out", "", "write phases as a Chrome trace-event file (implies -trace)")
+	profile := fs.Bool("profile", false, "attribute the run to allocation sites and field paths")
+	asJSON := fs.Bool("json", false, "emit explain/metrics/stats/profile as JSON on stdout")
+	metrics := fs.Bool("metrics", false, "print dynamic metrics after the run")
+	noRun := fs.Bool("norun", false, "compile only; do not execute")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	file := flag.Arg(0)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: oic [flags] program.icc")
+		fs.Usage()
+		return 2
+	}
+	file := fs.Arg(0)
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "oic:", err)
+		return 1
+	}
+
+	// The trace sink is owned here, not by the Program, so whatever phases
+	// completed are exported even when a later stage fails. The deferred
+	// flush writes the Chrome trace (or removes a stale file) on every
+	// return past this point.
+	var sink *objinline.TraceSink
+	var opts []objinline.Option
+	if *doTrace || *traceOut != "" {
+		sink = &objinline.TraceSink{}
+		opts = append(opts, objinline.WithTraceSink(sink))
+	}
+	if *traceOut != "" {
+		defer func() {
+			if err := writeTraceFile(*traceOut, sink); err != nil {
+				fmt.Fprintln(stderr, "oic:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
+
 	src, err := os.ReadFile(file)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	mode, err := objinline.ParseMode(*modeName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg := objinline.Config{Mode: mode, ParallelArrays: *parallel}
-	var opts []objinline.Option
-	if *doTrace {
-		opts = append(opts, objinline.WithTracing())
-	}
 
 	prog, err := objinline.Compile(file, string(src), cfg, opts...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	switch *dump {
 	case "ir":
-		fmt.Print(prog.IR())
-		return
+		fmt.Fprint(stdout, prog.IR())
+		return 0
 	case "analysis":
-		fmt.Print(prog.AnalysisReport())
-		return
+		fmt.Fprint(stdout, prog.AnalysisReport())
+		return 0
 	case "report":
-		fmt.Print(prog.Report())
-		return
+		fmt.Fprint(stdout, prog.Report())
+		return 0
 	case "":
 	default:
-		fatal(fmt.Errorf("unknown dump kind %q", *dump))
+		return fail(fmt.Errorf("unknown dump kind %q", *dump))
 	}
 
 	env := envelope{File: file, Mode: prog.Mode().String(), CodeSize: prog.CodeSize()}
@@ -102,88 +149,141 @@ func main() {
 	if *explain != "" {
 		d, err := prog.Explain(*explain)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *asJSON {
 			env.Explain = &d
 		} else {
-			printExplain(d)
+			printExplain(stdout, d)
 		}
 	}
 
 	// A program being explained is being inspected, not executed;
 	// everything else runs unless -norun.
-	run := !*noRun && *explain == ""
-	if run {
+	doRun := !*noRun && *explain == ""
+	if doRun {
 		// Under -json, stdout must be exactly the envelope; the program's
 		// own output moves to stderr.
-		out := io.Writer(os.Stdout)
+		out := stdout
 		if *asJSON {
-			out = os.Stderr
+			out = stderr
 		}
-		m, err := prog.Run(objinline.RunOptions{Output: out})
+		m, err := prog.Run(objinline.RunOptions{Output: out, Profile: *profile})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *asJSON {
 			env.Metrics = &m
-		} else if *metrics {
-			printMetrics(m)
+			env.Profile = prog.Profile()
+		} else {
+			if *metrics {
+				printMetrics(stderr, m)
+			}
+			if *profile {
+				printProfile(stderr, prog.Profile())
+			}
 		}
 	} else if !*asJSON && *explain == "" {
-		fmt.Fprintf(os.Stderr, "compiled %s: %d instructions\n", file, prog.CodeSize())
+		fmt.Fprintf(stderr, "compiled %s: %d instructions\n", file, prog.CodeSize())
 	}
 
-	if *doTrace {
+	if *doTrace || *traceOut != "" {
 		st := prog.CompileStats()
 		if *asJSON {
 			env.Stats = &st
-		} else {
-			trace.WriteTable(os.Stderr, st.Phases)
+		} else if *doTrace {
+			trace.WriteTable(stderr, st.Phases)
 		}
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(env); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
+	return 0
 }
 
-func printExplain(d objinline.Decision) {
-	fmt.Printf("%s: %s", d.Field, d.Verdict)
-	if d.Code != "" && d.Verdict != objinline.VerdictInlined {
-		fmt.Printf(" [%s]", d.Code)
+// writeTraceFile serializes the sink's events as a Chrome trace. With no
+// events recorded (tracing requested but nothing ran — bad flags, say) a
+// stale file from an earlier invocation is removed rather than left lying
+// around to mislead.
+func writeTraceFile(path string, sink *objinline.TraceSink) error {
+	events := sink.Events()
+	if len(events) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		return nil
 	}
-	fmt.Println()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	werr := objinline.WriteChromeTrace(f, events)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("trace-out: %w", werr)
+	}
+	return nil
+}
+
+func printExplain(w io.Writer, d objinline.Decision) {
+	fmt.Fprintf(w, "%s: %s", d.Field, d.Verdict)
+	if d.Code != "" && d.Verdict != objinline.VerdictInlined {
+		fmt.Fprintf(w, " [%s]", d.Code)
+	}
+	fmt.Fprintln(w)
 	if d.Reason != "" {
-		fmt.Printf("  reason: %s\n", d.Reason)
+		fmt.Fprintf(w, "  reason: %s\n", d.Reason)
 	}
 	for _, s := range d.Evidence {
-		fmt.Printf("  - %s", s.What)
+		fmt.Fprintf(w, "  - %s", s.What)
 		if s.Where != "" {
-			fmt.Printf(" @ %s", s.Where)
+			fmt.Fprintf(w, " @ %s", s.Where)
 		}
 		if s.Detail != "" {
-			fmt.Printf(": %s", s.Detail)
+			fmt.Fprintf(w, ": %s", s.Detail)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func printMetrics(m objinline.Metrics) {
-	fmt.Fprintf(os.Stderr, "cycles: %d\n", m.Cycles)
-	fmt.Fprintf(os.Stderr, "instructions: %d\n", m.Instructions)
-	fmt.Fprintf(os.Stderr, "dereferences: %d (dynamic lookups %d)\n", m.Dereferences, m.DynFieldLookups)
-	fmt.Fprintf(os.Stderr, "dispatches: %d, static calls: %d\n", m.Dispatches, m.StaticCalls)
-	fmt.Fprintf(os.Stderr, "heap objects: %d, stack temporaries: %d, arrays: %d (%d bytes)\n",
+func printMetrics(w io.Writer, m objinline.Metrics) {
+	fmt.Fprintf(w, "cycles: %d\n", m.Cycles)
+	fmt.Fprintf(w, "instructions: %d\n", m.Instructions)
+	fmt.Fprintf(w, "dereferences: %d (dynamic lookups %d)\n", m.Dereferences, m.DynFieldLookups)
+	fmt.Fprintf(w, "dispatches: %d, static calls: %d\n", m.Dispatches, m.StaticCalls)
+	fmt.Fprintf(w, "heap objects: %d, stack temporaries: %d, arrays: %d (%d bytes)\n",
 		m.HeapObjects, m.StackObjects, m.Arrays, m.BytesAllocated)
-	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses\n", m.CacheHits, m.CacheMisses)
+	fmt.Fprintf(w, "cache: %d hits, %d misses\n", m.CacheHits, m.CacheMisses)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "oic:", err)
-	os.Exit(1)
+func printProfile(w io.Writer, p *objinline.RunProfile) {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(w, "heap peak: %d bytes; dispatch: %d header reads, %d misses\n",
+		p.HeapPeakBytes, p.DispatchAccesses, p.DispatchMisses)
+	fmt.Fprintf(w, "%-24s %-12s %8s %8s %10s %10s %8s\n",
+		"site", "class", "allocs", "stack", "bytes", "accesses", "misses")
+	for _, s := range p.Sites {
+		name := s.Class
+		if s.Array {
+			name = "[array]"
+			if s.Class != "" {
+				name = "[]" + s.Class
+			}
+		}
+		fmt.Fprintf(w, "%-24s %-12s %8d %8d %10d %10d %8d\n",
+			s.Pos, name, s.Allocs, s.StackAllocs, s.Bytes, s.Accesses, s.Misses)
+	}
+	fmt.Fprintf(w, "%-24s %8s %8s %8s\n", "field path", "reads", "writes", "misses")
+	for _, f := range p.Fields {
+		fmt.Fprintf(w, "%-24s %8d %8d %8d\n", f.Class+"."+f.Field, f.Reads, f.Writes, f.Misses)
+	}
 }

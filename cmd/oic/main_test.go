@@ -1,0 +1,164 @@
+package main
+
+// End-to-end tests for the oic driver, invoking run() in-process with
+// captured streams. The -json envelope is a golden contract: compile →
+// run → exact envelope bytes on stdout with the program's own output on
+// stderr. The trace-out tests pin the every-exit-path flush, compile
+// errors included.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../testdata/explain.icc"
+
+// TestJSONEnvelopeGolden pins the full -json contract: stdout carries
+// exactly the envelope (byte-for-byte, it is deterministic without
+// -trace), stderr carries the program's print output.
+func TestJSONEnvelopeGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	want, err := os.ReadFile("testdata/json_envelope.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("envelope drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", stdout.String(), want)
+	}
+	if got := stderr.String(); got != "21\ntrue\n" {
+		t.Errorf("program output on stderr = %q, want %q", got, "21\ntrue\n")
+	}
+}
+
+// TestJSONEnvelopeWithProfile checks -profile surfaces the run profile in
+// the envelope with reconcilable numbers.
+func TestJSONEnvelopeWithProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-profile", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	var env struct {
+		Metrics struct {
+			HeapObjects    uint64 `json:"heap_objects"`
+			Arrays         uint64 `json:"arrays"`
+			BytesAllocated uint64 `json:"bytes_allocated"`
+		} `json:"metrics"`
+		Profile struct {
+			Sites []struct {
+				Allocs uint64 `json:"allocs"`
+			} `json:"sites"`
+			HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if len(env.Profile.Sites) == 0 {
+		t.Fatal("-profile produced no sites in the envelope")
+	}
+	var allocs uint64
+	for _, s := range env.Profile.Sites {
+		allocs += s.Allocs
+	}
+	if want := env.Metrics.HeapObjects + env.Metrics.Arrays; allocs != want {
+		t.Errorf("profile site allocs %d != metrics allocations %d", allocs, want)
+	}
+	if env.Profile.HeapPeakBytes != env.Metrics.BytesAllocated {
+		t.Errorf("heap peak %d != bytes allocated %d", env.Profile.HeapPeakBytes, env.Metrics.BytesAllocated)
+	}
+}
+
+// TestTraceOutWritesChromeTrace checks a successful compile+run writes a
+// Perfetto-loadable trace file with compile and run spans.
+func TestTraceOutWritesChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trace-out", path, fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"parse", "analysis", "run"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span", want)
+		}
+	}
+}
+
+// TestTraceOutFlushedOnCompileError pins the bug fix: a compile error must
+// still write the trace file with the phases that completed.
+func TestTraceOutFlushedOnCompileError(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.icc")
+	if err := os.WriteFile(bad, []byte("func main() { return undefined_name; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trace-out", path, bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "oic:") {
+		t.Errorf("no error reported on stderr: %q", stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("compile error did not flush the trace file: %v", err)
+	}
+	if !strings.Contains(string(raw), `"parse"`) {
+		t.Errorf("flushed trace has no parse span: %s", raw)
+	}
+}
+
+// TestTraceOutRemovesStaleFileWhenNothingRan checks the other side of the
+// flush contract: when tracing was requested but no phase ever ran (the
+// source file is unreadable), a stale trace file from an earlier
+// invocation is removed instead of being left behind to mislead.
+func TestTraceOutRemovesStaleFileWhenNothingRan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(path, []byte(`{"stale":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-trace-out", path, filepath.Join(dir, "missing.icc")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("stale trace file was not removed (err=%v)", err)
+	}
+}
+
+// TestExplainStillWorks guards the inspection path through the refactored
+// driver.
+func TestExplainStillWorks(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-explain", "Rect.p", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Rect.p: inlined") {
+		t.Errorf("explain output: %q", stdout.String())
+	}
+}

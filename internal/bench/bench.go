@@ -202,6 +202,9 @@ type Measurement struct {
 	Compiled *pipeline.Compiled
 	Output   string
 	Counters vm.Counters
+	// Profile is the run's site/field attribution; nil unless the
+	// measurement came from the profiled path (Engine.MeasureProfiled).
+	Profile *vm.Profile
 }
 
 // CyclesUnder replays the measurement's charge events against a
@@ -243,6 +246,33 @@ func runCompiled(p Program, v Variant, s Scale, cfg pipeline.Config, c *pipeline
 		Compiled: c,
 		Output:   out.String(),
 		Counters: counters,
+	}, nil
+}
+
+// runProfiled executes a compiled configuration like runCompiled but with
+// a site profiler attached. Profiling never perturbs the counters (pinned
+// by the vm tests), so a profiled measurement is interchangeable with an
+// unprofiled one except for the extra attribution.
+func runProfiled(p Program, v Variant, s Scale, cfg pipeline.Config, c *pipeline.Compiled) (*Measurement, error) {
+	prof := vm.NewProfile()
+	var out strings.Builder
+	counters, err := c.Run(pipeline.RunOptions{
+		Out:      &out,
+		Cache:    &cachesim.DefaultConfig,
+		MaxSteps: RunMaxSteps,
+		Profile:  prof,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/%s/%s profiled run: %w", p.Name, v, cfg.Mode, s, err)
+	}
+	return &Measurement{
+		Program:  p.Name,
+		Variant:  v,
+		Mode:     cfg.Mode,
+		Compiled: c,
+		Output:   out.String(),
+		Counters: counters,
+		Profile:  prof,
 	}, nil
 }
 

@@ -76,6 +76,7 @@ type Engine struct {
 	mu       sync.Mutex
 	compiles map[CompileKey]*inflight[*pipeline.Compiled]
 	runs     map[CompileKey]*inflight[*Measurement]
+	profRuns map[CompileKey]*inflight[*Measurement]
 	stats    Stats
 }
 
@@ -90,6 +91,7 @@ func NewEngine(jobs int) *Engine {
 		sem:      make(chan struct{}, jobs),
 		compiles: make(map[CompileKey]*inflight[*pipeline.Compiled]),
 		runs:     make(map[CompileKey]*inflight[*Measurement]),
+		profRuns: make(map[CompileKey]*inflight[*Measurement]),
 	}
 }
 
@@ -161,6 +163,37 @@ func (e *Engine) Measure(p Program, v Variant, s Scale, cfg pipeline.Config) (*M
 	}
 	e.acquire()
 	f.val, f.err = runCompiled(p, v, s, cfg, c)
+	e.release()
+	close(f.done)
+	return f.val, f.err
+}
+
+// MeasureProfiled is Measure with a site profiler attached to the run. It
+// shares the compile cache with Measure but memoizes its executions
+// separately — a profiled measurement carries per-site state the plain
+// cache must not pay for, and the plain cache's entries carry no profile.
+func (e *Engine) MeasureProfiled(p Program, v Variant, s Scale, cfg pipeline.Config) (*Measurement, error) {
+	key := NewCompileKey(p, v, s, cfg)
+	e.mu.Lock()
+	if f, ok := e.profRuns[key]; ok {
+		e.stats.RunHits++
+		e.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &inflight[*Measurement]{done: make(chan struct{})}
+	e.profRuns[key] = f
+	e.stats.Runs++
+	e.mu.Unlock()
+
+	c, err := e.Compile(p, v, s, cfg)
+	if err != nil {
+		f.err = err
+		close(f.done)
+		return nil, err
+	}
+	e.acquire()
+	f.val, f.err = runProfiled(p, v, s, cfg, c)
 	e.release()
 	close(f.done)
 	return f.val, f.err

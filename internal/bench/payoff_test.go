@@ -1,0 +1,152 @@
+package bench
+
+// Reconciliation tests for the per-field payoff attribution: the rows must
+// sum to the aggregate counter deltas between the inlining-on and
+// inlining-off runs — exactly for allocations and misses (both rest on
+// exact partitions), and the identity must hold for every benchmark.
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/pipeline"
+)
+
+func payoffFor(t *testing.T, e *Engine, p Program) *ProgramPayoff {
+	t.Helper()
+	pay, err := e.Payoff(p, ScaleSmall)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return pay
+}
+
+// TestPayoffSumsToAggregateDeltas pins the reconciliation identities on
+// every benchmark at the small scale.
+func TestPayoffSumsToAggregateDeltas(t *testing.T) {
+	e := NewEngine(0)
+	for _, p := range Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			pay := payoffFor(t, e, p)
+
+			var allocs, bytes, misses int64
+			for _, f := range pay.Fields {
+				allocs += f.AllocsEliminated
+				bytes += f.BytesSaved
+				misses += f.MissesAvoided
+			}
+			allocs += pay.Unattributed.AllocsEliminated
+			bytes += pay.Unattributed.BytesSaved
+			misses += pay.Unattributed.MissesAvoided
+
+			if allocs != pay.AllocsDelta {
+				t.Errorf("allocs: rows sum to %d, aggregate delta %d", allocs, pay.AllocsDelta)
+			}
+			if bytes != pay.BytesDelta {
+				t.Errorf("bytes: rows sum to %d, aggregate delta %d", bytes, pay.BytesDelta)
+			}
+			if got := misses + pay.DispatchMissesAvoided; got != pay.MissesDelta {
+				t.Errorf("misses: rows %d + dispatch %d = %d, aggregate delta %d",
+					misses, pay.DispatchMissesAvoided, got, pay.MissesDelta)
+			}
+		})
+	}
+}
+
+// TestPayoffAttributesInlinedFields checks the table is not vacuous on a
+// benchmark where inlining eliminates allocations: the eliminated
+// allocations land on named fields, not the unattributed bucket, and the
+// bump allocator makes the heap-peak delta equal the bytes delta.
+func TestPayoffAttributesInlinedFields(t *testing.T) {
+	e := NewEngine(0)
+	p, err := ByName("polyover-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := payoffFor(t, e, p)
+
+	if pay.AllocsDelta <= 0 {
+		t.Fatalf("inlining eliminated no allocations (delta %d); payoff test is vacuous", pay.AllocsDelta)
+	}
+	if len(pay.Fields) == 0 {
+		t.Fatal("no inlined fields in the payoff table")
+	}
+	var attributed int64
+	for _, f := range pay.Fields {
+		attributed += f.AllocsEliminated
+	}
+	if attributed != pay.AllocsDelta {
+		t.Errorf("named fields claim %d of %d eliminated allocations (unattributed %d)",
+			attributed, pay.AllocsDelta, pay.Unattributed.AllocsEliminated)
+	}
+	if pay.HeapPeakDelta != pay.BytesDelta {
+		t.Errorf("bump allocation should make heap-peak delta (%d) equal bytes delta (%d)",
+			pay.HeapPeakDelta, pay.BytesDelta)
+	}
+}
+
+// TestPayoffArrayKeysCarrySites checks array decision keys resolve to
+// their allocation-site positions (oopack inlines array sites).
+func TestPayoffArrayKeysCarrySites(t *testing.T) {
+	e := NewEngine(0)
+	p, err := ByName("oopack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := payoffFor(t, e, p)
+	var arrays int
+	for _, f := range pay.Fields {
+		if strings.HasPrefix(f.Field, "arr@") {
+			arrays++
+			if f.ArraySite == "" {
+				t.Errorf("array key %s carries no allocation-site position", f.Field)
+			}
+		}
+	}
+	if arrays == 0 {
+		t.Error("oopack payoff table names no array keys")
+	}
+}
+
+// TestMeasureProfiledIsCachedAndProfiled pins the engine contract: the
+// profiled path returns a profile, hits its own cache on repeat, and
+// reuses the compile cache shared with plain Measure.
+func TestMeasureProfiledIsCachedAndProfiled(t *testing.T) {
+	e := NewEngine(0)
+	p, err := ByName("polyover-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.Config{Mode: pipeline.ModeInline}
+	m1, err := e.MeasureProfiled(p, VariantAuto, ScaleSmall, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Profile == nil {
+		t.Fatal("MeasureProfiled returned no profile")
+	}
+	m2, err := e.MeasureProfiled(p, VariantAuto, ScaleSmall, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("repeat MeasureProfiled did not hit the profiled-run cache")
+	}
+	plain, err := e.Measure(p, VariantAuto, ScaleSmall, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile != nil {
+		t.Error("plain Measure leaked a profile")
+	}
+	if plain.Compiled != m1.Compiled {
+		t.Error("profiled and plain measurements did not share the compile cache")
+	}
+	if plain.Counters != m1.Counters {
+		t.Errorf("profiling perturbed the measurement:\nplain:    %+v\nprofiled: %+v", plain.Counters, m1.Counters)
+	}
+	if s := e.Stats(); s.Compiles != 1 {
+		t.Errorf("expected 1 compile across profiled+plain paths, got %d", s.Compiles)
+	}
+}

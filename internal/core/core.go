@@ -31,6 +31,23 @@ type Result struct {
 	ClassVersions int
 	StackSites    int
 	Attempts      int
+
+	// StackProvenance lists every stack-elided allocation site with the
+	// inlined fields that consume its objects. The payoff attribution
+	// joins this against runtime allocation-site profiles to credit
+	// eliminated allocations to individual fields.
+	StackProvenance []StackSite
+}
+
+// StackSite is one stack-elided allocation site in the source program.
+type StackSite struct {
+	// Pos is the allocation instruction's source position ("file:line:col").
+	Pos string `json:"pos"`
+	// Class is the allocated class's source-level name.
+	Class string `json:"class"`
+	// Fields are the inlined-field keys ("Class.field" or array-site
+	// strings) whose copies consume this site's objects, sorted.
+	Fields []string `json:"fields"`
 }
 
 // Optimize runs the full pipeline of the paper's §5 over an analyzed
@@ -79,13 +96,14 @@ func Optimize(prog *ir.Program, res *analysis.Result, opts Options) (*Result, er
 		switch {
 		case m.prog != nil:
 			return &Result{
-				Prog:          m.prog,
-				Decision:      d,
-				Analysis:      res,
-				CloneStats:    m.grouping.Stats(),
-				ClassVersions: len(vs.Versions()),
-				StackSites:    len(tr.stackable),
-				Attempts:      attempt,
+				Prog:            m.prog,
+				Decision:        d,
+				Analysis:        res,
+				CloneStats:      m.grouping.Stats(),
+				ClassVersions:   len(vs.Versions()),
+				StackSites:      len(tr.stackable),
+				Attempts:        attempt,
+				StackProvenance: tr.stackProvenance(),
 			}, nil
 		case len(m.rejects) > 0:
 			changed := false

@@ -73,6 +73,10 @@ type transformer struct {
 	opts Options
 
 	stackable map[*ir.Instr]bool // OpNewObject sites elided to cheap stack allocation
+	// stackKeys records which inlined fields consume each stackable
+	// site's objects — the provenance the payoff attribution joins
+	// against runtime site profiles.
+	stackKeys map[*ir.Instr][]analysis.FieldKey
 
 	// repable marks object contours that may flow into a candidate field
 	// or array — only those can ever be represented by a container. A
@@ -98,6 +102,7 @@ func newTransformer(prog *ir.Program, res *analysis.Result, d *Decision, vs *ver
 	t := &transformer{
 		prog: prog, res: res, d: d, vs: vs, val: val, opts: opts,
 		stackable: make(map[*ir.Instr]bool),
+		stackKeys: make(map[*ir.Instr][]analysis.FieldKey),
 		repable:   repableContours(res, d),
 		tagMemo:   make(map[*analysis.Tag]*tagRes),
 		plans:     make(map[*analysis.MethodContour]*bodyPlan),
@@ -138,8 +143,7 @@ func (t *transformer) findStackable() {
 	for _, mc := range t.res.Mcs {
 		fn := mc.Fn
 		fn.Instrs(func(_ *ir.Block, in *ir.Instr) {
-			var key analysis.FieldKey
-			ok := false
+			var keys []analysis.FieldKey
 			switch in.Op {
 			case ir.OpSetField:
 				base := mc.Reg(in.Args[0])
@@ -150,26 +154,64 @@ func (t *transformer) findStackable() {
 					}
 					k := analysis.FieldKey{Class: owner, Name: in.Field.Name}
 					if t.d.Has(k) {
-						key, ok = k, true
+						keys = appendKeyOnce(keys, k)
 					}
 				}
 			case ir.OpArrSet:
 				base := mc.Reg(in.Args[0])
 				for _, ac := range base.TS.ArrList() {
 					if k := arrKey(ac); t.d.Has(k) {
-						key, ok = k, true
+						keys = appendKeyOnce(keys, k)
 					}
 				}
 			}
-			if !ok {
+			if len(keys) == 0 {
 				return
 			}
-			_ = key
 			for _, site := range t.val.CollectRoots(fn, in) {
 				t.stackable[site.Instr] = true
+				for _, k := range keys {
+					t.stackKeys[site.Instr] = appendKeyOnce(t.stackKeys[site.Instr], k)
+				}
 			}
 		})
 	}
+}
+
+// appendKeyOnce appends k unless already present; stackable sites see only
+// a handful of keys, so the linear scan is fine.
+func appendKeyOnce(keys []analysis.FieldKey, k analysis.FieldKey) []analysis.FieldKey {
+	for _, have := range keys {
+		if have == k {
+			return keys
+		}
+	}
+	return append(keys, k)
+}
+
+// stackProvenance flattens the stackable-site map into the exported
+// provenance table, sorted by source position then class.
+func (t *transformer) stackProvenance() []StackSite {
+	out := make([]StackSite, 0, len(t.stackable))
+	for in := range t.stackable {
+		class := ""
+		if in.Class != nil {
+			class = in.Class.Name
+		}
+		fields := make([]string, 0, len(t.stackKeys[in]))
+		for _, k := range t.stackKeys[in] {
+			fields = append(fields, k.String())
+		}
+		sort.Strings(fields)
+		out = append(out, StackSite{Pos: in.Pos.String(), Class: class, Fields: fields})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
 }
 
 // resolveTag computes the carriers of one tag.

@@ -110,6 +110,10 @@ func Compile(file, src string, cfg Config) (*Compiled, error) {
 		sp.Counter("obj-contours", int64(st.ObjContours))
 		sp.Counter("passes", int64(st.Passes))
 		sp.Counter("instr-evals", int64(st.Work.InstrEvals))
+		// Worklist-solver progress, for the Chrome/Perfetto export.
+		sp.Counter("rounds", int64(st.Work.Rounds))
+		sp.Counter("contour-evals", int64(st.Work.ContourEvals))
+		sp.Counter("enqueues", int64(st.Work.Enqueues))
 	}
 	sp.End()
 	c.Analysis = res
@@ -165,6 +169,9 @@ type RunOptions struct {
 	// Trace overrides the sink the run phase reports to; nil falls back to
 	// the compilation's sink (which may itself be nil).
 	Trace *trace.Sink
+	// Profile, when non-nil, receives per-allocation-site and per-field-path
+	// attribution for the run. A nil profile costs nothing.
+	Profile *vm.Profile
 }
 
 // Run executes the compiled program and returns its dynamic counters.
@@ -179,6 +186,7 @@ func (c *Compiled) Run(opts RunOptions) (vm.Counters, error) {
 		Cost:     opts.Cost,
 		MaxSteps: opts.MaxSteps,
 		Trace:    tr,
+		Profile:  opts.Profile,
 	})
 	return m.Run()
 }

@@ -1,0 +1,75 @@
+package trace
+
+// Chrome trace-event export: serializes recorded phase events to the JSON
+// format the Perfetto UI (https://ui.perfetto.dev) and chrome://tracing
+// load directly. Each phase span becomes a complete ("X") event on one
+// timeline track; each span counter additionally becomes a counter ("C")
+// event at the span's start, so contour counts, instruction counts, and VM
+// run counters render as tracks next to the spans that produced them.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the trace-event JSON array. Field names are
+// the trace-event format's, not ours.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the event type: "X" for complete spans, "C" for counters.
+	Ph  string `json:"ph"`
+	Ts  float64 `json:"ts"`  // microseconds since trace start
+	Dur float64 `json:"dur"` // microseconds; 0 for "C" events
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// Args carries the span counters ("X") or the counter value ("C").
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object Perfetto expects.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes the events as Chrome trace-event JSON. The output
+// is deterministic for a given event slice: events in recorded order, each
+// span's counters in recorded order.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	const usPerNs = 1e-3
+	for _, ev := range events {
+		span := chromeEvent{
+			Name: string(ev.Phase),
+			Cat:  "phase",
+			Ph:   "X",
+			Ts:   float64(ev.Start) * usPerNs,
+			Dur:  float64(ev.Nanos) * usPerNs,
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(ev.Counters) > 0 {
+			span.Args = make(map[string]int64, len(ev.Counters))
+		}
+		for _, c := range ev.Counters {
+			span.Args[c.Name] = c.Value
+		}
+		out.TraceEvents = append(out.TraceEvents, span)
+		// Counter tracks: one "C" event per counter at the span's start,
+		// named <phase>/<counter> so same-named counters of different
+		// phases (e.g. "instrs") stay on separate tracks.
+		for _, c := range ev.Counters {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: string(ev.Phase) + "/" + c.Name,
+				Ph:   "C",
+				Ts:   float64(ev.Start) * usPerNs,
+				Pid:  1,
+				Tid:  1,
+				Args: map[string]int64{c.Name: c.Value},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

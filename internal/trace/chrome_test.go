@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartOffsetsAreEpochRelative(t *testing.T) {
+	var s Sink
+	tick := time.Unix(100, 0) // epoch must not leak absolute time
+	s.now = func() time.Time {
+		tick = tick.Add(2 * time.Millisecond)
+		return tick
+	}
+	s.Start(PhaseParse).End()
+	s.Start(PhaseCheck).End()
+
+	evs := s.Events()
+	if evs[0].Start != 0 {
+		t.Errorf("first span starts at %d, want 0", evs[0].Start)
+	}
+	// parse start + parse End tick = 2 clock advances after the epoch.
+	if want := int64(4 * time.Millisecond); evs[1].Start != want {
+		t.Errorf("second span starts at %d, want %d", evs[1].Start, want)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var s Sink
+	tick := time.Unix(0, 0)
+	s.now = func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}
+	sp := s.Start(PhaseAnalysis)
+	sp.Counter("obj-contours", 7)
+	sp.End()
+	s.Start(PhaseRun).End()
+
+	var b strings.Builder
+	if err := WriteChrome(&b, s.Events()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// The output must be a well-formed trace-event JSON object.
+	var parsed struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			Ts   float64          `json:"ts"`
+			Dur  float64          `json:"dur"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if parsed.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	// analysis span, its counter track, run span.
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3:\n%s", len(parsed.TraceEvents), out)
+	}
+	span := parsed.TraceEvents[0]
+	if span.Name != "analysis" || span.Ph != "X" {
+		t.Errorf("span[0] = %+v", span)
+	}
+	if span.Ts != 0 || span.Dur != 1000 { // 1ms span in microseconds
+		t.Errorf("span[0] ts=%v dur=%v, want 0/1000", span.Ts, span.Dur)
+	}
+	if span.Args["obj-contours"] != 7 {
+		t.Errorf("span args = %v", span.Args)
+	}
+	counter := parsed.TraceEvents[1]
+	if counter.Name != "analysis/obj-contours" || counter.Ph != "C" || counter.Args["obj-contours"] != 7 {
+		t.Errorf("counter event = %+v", counter)
+	}
+	if run := parsed.TraceEvents[2]; run.Name != "run" || run.Ts != 2000 {
+		t.Errorf("run event = %+v", run)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChrome(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace should still carry an event array: %s", b.String())
+	}
+}

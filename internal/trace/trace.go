@@ -53,8 +53,12 @@ type Counter struct {
 // Event is one recorded phase execution.
 type Event struct {
 	Phase Phase `json:"phase"`
-	// Nanos is the phase's wall time. It is the one nondeterministic
-	// field of an event; schema checks normalize it.
+	// Start is the span's start time in nanoseconds since the sink's
+	// first Start call (the sink epoch). Like Nanos it is wall-clock
+	// derived and therefore nondeterministic; schema checks normalize
+	// both. The Chrome export uses it to place spans on a timeline.
+	Start int64 `json:"start_nanos"`
+	// Nanos is the phase's wall time; schema checks normalize it.
 	Nanos    int64     `json:"nanos"`
 	Counters []Counter `json:"counters,omitempty"`
 }
@@ -66,6 +70,9 @@ type Event struct {
 type Sink struct {
 	mu     sync.Mutex
 	events []Event
+	// epoch is the time of the first Start call; event Start offsets are
+	// relative to it.
+	epoch time.Time
 	// now stands in for time.Now in tests that need deterministic
 	// durations; nil means time.Now.
 	now func() time.Time
@@ -87,8 +94,12 @@ func (s *Sink) Start(p Phase) Span {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.events = append(s.events, Event{Phase: p})
-	return Span{sink: s, idx: len(s.events) - 1, start: s.clock()}
+	start := s.clock()
+	if s.epoch.IsZero() {
+		s.epoch = start
+	}
+	s.events = append(s.events, Event{Phase: p, Start: int64(start.Sub(s.epoch))})
+	return Span{sink: s, idx: len(s.events) - 1, start: start}
 }
 
 func (s *Sink) clock() time.Time {

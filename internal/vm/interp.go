@@ -21,6 +21,10 @@ type Options struct {
 	Cache    *cachesim.Config // nil disables the cache model (hits assumed)
 	MaxSteps uint64           // 0 means the default limit
 	Trace    *trace.Sink      // optional phase-event sink; nil records nothing
+	// Profile, when non-nil, attributes allocations, field traffic, and
+	// cache misses to allocation sites and Class.field paths. A nil
+	// profile costs nothing (the hooks are nil-receiver no-ops).
+	Profile *Profile
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -40,7 +44,8 @@ type Machine struct {
 	nextAdr  uint64
 	stackAdr uint64
 
-	tr *trace.Sink
+	tr   *trace.Sink
+	prof *Profile
 
 	slotMaps map[*ir.Class]map[string]int
 }
@@ -56,6 +61,7 @@ func New(prog *ir.Program, opts Options) *Machine {
 		nextAdr:  binBytes, // bin-aligned; keep address 0 unused
 		stackAdr: stackBase,
 		tr:       opts.Trace,
+		prof:     opts.Profile,
 		slotMaps: make(map[*ir.Class]map[string]int),
 	}
 	if m.out == nil {
@@ -106,6 +112,7 @@ func (m *Machine) Run() (c Counters, err error) {
 		sp.Counter("cycles", m.counts.Cycles)
 		sp.Counter("cache-misses", int64(m.counts.CacheMisses))
 		sp.End()
+		m.prof.finish(m.nextAdr - binBytes)
 	}()
 	defer func() {
 		if r := recover(); r != nil {
@@ -133,19 +140,21 @@ func (m *Machine) charge(d CostDim, n int64) {
 	m.counts.Cycles += n * m.costVec[d]
 }
 
-// mem simulates one memory access at addr and charges its cost.
-func (m *Machine) mem(addr uint64) {
+// mem simulates one memory access at addr, charges its cost, and reports
+// whether the access missed (for the profiler's attribution).
+func (m *Machine) mem(addr uint64) bool {
 	if m.cache == nil {
 		m.charge(DimCacheHit, 1)
-		return
+		return false
 	}
 	if m.cache.Access(addr) {
 		m.counts.CacheHits++
 		m.charge(DimCacheHit, 1)
-	} else {
-		m.counts.CacheMisses++
-		m.charge(DimCacheMiss, 1)
+		return false
 	}
+	m.counts.CacheMisses++
+	m.charge(DimCacheMiss, 1)
+	return true
 }
 
 func (m *Machine) slotByName(c *ir.Class, name string) (int, bool) {
@@ -165,7 +174,7 @@ func (m *Machine) slotByName(c *ir.Class, name string) (int, bool) {
 // allocations are the inlining transformation's elided temporaries: their
 // contents are copied into a container and the original dies, so they are
 // charged only a cheap stack/arena cost (DESIGN.md §2).
-func (m *Machine) allocObject(c *ir.Class, stacked bool) *Object {
+func (m *Machine) allocObject(in *ir.Instr, c *ir.Class, stacked bool) *Object {
 	n := c.NumSlots()
 	if stacked {
 		// Elided temporaries live on a hot stack page: their addresses
@@ -179,6 +188,7 @@ func (m *Machine) allocObject(c *ir.Class, stacked bool) *Object {
 		m.stackAdr += size
 		m.counts.StackAllocated++
 		m.charge(DimStackAlloc, 1)
+		m.prof.noteObjAlloc(in, o, true, 0)
 		return o
 	}
 	o := &Object{Class: c, Slots: make([]Value, n), Addr: m.nextAdr}
@@ -189,10 +199,11 @@ func (m *Machine) allocObject(c *ir.Class, stacked bool) *Object {
 	m.counts.BytesAllocated += size
 	m.charge(DimAllocBase, 1)
 	m.charge(DimAllocPerSlot, int64(n))
+	m.prof.noteObjAlloc(in, o, false, size)
 	return o
 }
 
-func (m *Machine) allocArray(length, stride int, parallel bool, elem *ir.Class) *Array {
+func (m *Machine) allocArray(in *ir.Instr, length, stride int, parallel bool, elem *ir.Class) *Array {
 	slots := length
 	if stride > 0 {
 		slots = length * stride
@@ -214,6 +225,7 @@ func (m *Machine) allocArray(length, stride int, parallel bool, elem *ir.Class) 
 	m.counts.BytesAllocated += size
 	m.charge(DimAllocBase, 1)
 	m.charge(DimAllocPerSlot, int64(slots))
+	m.prof.noteArrAlloc(in, a, slots, size)
 	return a
 }
 
@@ -255,20 +267,20 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 		case ir.OpUn:
 			regs[in.Dst] = m.unop(in, regs[in.Args[0]])
 		case ir.OpNewObject:
-			regs[in.Dst] = ObjValue(m.allocObject(in.Class, in.Aux == 1))
+			regs[in.Dst] = ObjValue(m.allocObject(in, in.Class, in.Aux == 1))
 		case ir.OpNewArray:
 			n := m.wantInt(in, regs[in.Args[0]])
 			if n < 0 {
 				m.fail(in.Pos, "negative array length %d", n)
 			}
-			regs[in.Dst] = ArrValue(m.allocArray(int(n), 0, false, nil))
+			regs[in.Dst] = ArrValue(m.allocArray(in, int(n), 0, false, nil))
 		case ir.OpNewArrayInl:
 			n := m.wantInt(in, regs[in.Args[0]])
 			if n < 0 {
 				m.fail(in.Pos, "negative array length %d", n)
 			}
 			stride := in.Class.NumSlots()
-			regs[in.Dst] = ArrValue(m.allocArray(int(n), stride, in.Aux == 1, in.Class))
+			regs[in.Dst] = ArrValue(m.allocArray(in, int(n), stride, in.Aux == 1, in.Class))
 		case ir.OpGetField:
 			regs[in.Dst] = m.getField(in, regs[in.Args[0]])
 		case ir.OpSetField:
@@ -311,7 +323,7 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 			m.charge(DimDispatch, 1)
 			// Touch the object header (the class pointer read the lookup
 			// needs).
-			m.mem(recv.Obj.Addr)
+			m.prof.noteDispatch(m.mem(recv.Obj.Addr))
 			callArgs := make([]Value, len(in.Args))
 			for i, a := range in.Args {
 				callArgs[i] = regs[a]
@@ -360,7 +372,8 @@ func (m *Machine) getField(in *ir.Instr, recv Value) Value {
 	case KObj:
 		slot := m.resolveSlot(in, recv.Obj.Class)
 		m.charge(DimFieldAccess, 1)
-		m.mem(recv.Obj.SlotAddr(slot))
+		miss := m.mem(recv.Obj.SlotAddr(slot))
+		m.prof.noteFieldAccess(recv.Obj, slot, false, miss)
 		return recv.Obj.Slots[slot]
 	case KInterior:
 		rel := in.Field.Slot
@@ -370,10 +383,10 @@ func (m *Machine) getField(in *ir.Instr, recv Value) Value {
 		m.charge(DimFieldAccess, 1)
 		a := recv.Arr
 		if a.Parallel() {
-			m.mem(a.ColAddr(rel, recv.Base))
+			m.prof.noteElemAccess(a, m.mem(a.ColAddr(rel, recv.Base)))
 			return a.Cols[rel][recv.Base]
 		}
-		m.mem(a.SlotAddr(recv.Base + rel))
+		m.prof.noteElemAccess(a, m.mem(a.SlotAddr(recv.Base+rel)))
 		return a.Elems[recv.Base+rel]
 	case KNil:
 		m.fail(in.Pos, "field %s of nil", in.Field.Name)
@@ -388,7 +401,8 @@ func (m *Machine) setField(in *ir.Instr, recv, v Value) {
 	case KObj:
 		slot := m.resolveSlot(in, recv.Obj.Class)
 		m.charge(DimFieldAccess, 1)
-		m.mem(recv.Obj.SlotAddr(slot))
+		miss := m.mem(recv.Obj.SlotAddr(slot))
+		m.prof.noteFieldAccess(recv.Obj, slot, true, miss)
 		recv.Obj.Slots[slot] = v
 		return
 	case KInterior:
@@ -399,11 +413,11 @@ func (m *Machine) setField(in *ir.Instr, recv, v Value) {
 		m.charge(DimFieldAccess, 1)
 		a := recv.Arr
 		if a.Parallel() {
-			m.mem(a.ColAddr(rel, recv.Base))
+			m.prof.noteElemAccess(a, m.mem(a.ColAddr(rel, recv.Base)))
 			a.Cols[rel][recv.Base] = v
 			return
 		}
-		m.mem(a.SlotAddr(recv.Base + rel))
+		m.prof.noteElemAccess(a, m.mem(a.SlotAddr(recv.Base+rel)))
 		a.Elems[recv.Base+rel] = v
 		return
 	case KNil:
@@ -450,7 +464,7 @@ func (m *Machine) arrGet(in *ir.Instr, av, iv Value) Value {
 	}
 	m.counts.Dereferences++
 	m.charge(DimArrayAccess, 1)
-	m.mem(a.SlotAddr(i))
+	m.prof.noteElemAccess(a, m.mem(a.SlotAddr(i)))
 	return a.Elems[i]
 }
 
@@ -465,7 +479,7 @@ func (m *Machine) arrSet(in *ir.Instr, av, iv, v Value) {
 	}
 	m.counts.Dereferences++
 	m.charge(DimArrayAccess, 1)
-	m.mem(a.SlotAddr(i))
+	m.prof.noteElemAccess(a, m.mem(a.SlotAddr(i)))
 	a.Elems[i] = v
 }
 

@@ -180,6 +180,10 @@ type Object struct {
 	Class *ir.Class
 	Slots []Value
 	Addr  uint64 // synthetic byte address of the object header
+
+	// site is the profiler's allocation-site tag (1-based; 0 when the run
+	// is unprofiled). Only the Profile that allocated the object reads it.
+	site int32
 }
 
 // SlotAddr returns the synthetic address of slot i.
@@ -196,6 +200,9 @@ type Array struct {
 	Cols   [][]Value // parallel layout: Stride columns of Length slots
 	Class  *ir.Class // element class for inlined arrays
 	Addr   uint64
+
+	// site is the profiler's allocation-site tag (see Object.site).
+	site int32
 }
 
 // Parallel reports whether the array uses the parallel-column layout.
@@ -227,6 +234,22 @@ const (
 func padAlloc(size uint64) uint64 {
 	return (size + binBytes - 1) / binBytes * binBytes
 }
+
+// Exported layout geometry for tooling: the payoff attribution derives its
+// static per-field predictions from the same allocator geometry the VM
+// charges.
+const (
+	// HeaderBytes is the object/array header size.
+	HeaderBytes = headerBytes
+	// SlotBytes is the size of one field or element slot.
+	SlotBytes = slotBytes
+	// BinBytes is the allocator bin granularity heap sizes round up to.
+	BinBytes = binBytes
+)
+
+// PadAlloc rounds a heap allocation size to its allocator bin, exactly as
+// the VM's allocator does.
+func PadAlloc(size uint64) uint64 { return padAlloc(size) }
 
 // Stack-page modeling for elided temporaries: a small window of addresses
 // far from the heap that stays cache-hot, like a real call stack.

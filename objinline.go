@@ -128,9 +128,32 @@ func WithTracing() Option {
 	return func(s *compileSettings) { s.trace = &trace.Sink{} }
 }
 
+// TraceSink collects phase events. Use with WithTraceSink when the caller
+// needs the events even if compilation fails partway (the oic CLI flushes
+// its trace file on every exit path this way).
+type TraceSink = trace.Sink
+
+// WithTraceSink is WithTracing recording into a caller-owned sink. The
+// sink keeps whatever phases completed when Compile returns an error, so
+// tooling can still export them.
+func WithTraceSink(sink *TraceSink) Option {
+	return func(s *compileSettings) { s.trace = sink }
+}
+
+// WriteChromeTrace serializes phase events to Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one complete
+// event per phase span plus one counter track per phase counter.
+func WriteChromeTrace(w io.Writer, events []PhaseStat) error {
+	return trace.WriteChrome(w, events)
+}
+
 // Program is a compiled Mini-ICC program, ready to run.
 type Program struct {
 	c *pipeline.Compiled
+
+	// Profiled-run state from the most recent Run with Profile set.
+	lastProfile  *vm.Profile
+	lastCounters vm.Counters
 }
 
 // Compile builds a program from Mini-ICC source text.
@@ -191,6 +214,12 @@ type RunOptions struct {
 	// Cache overrides the simulated cache geometry; nil (or zero fields)
 	// uses the default 16 KiB, 32-byte-line, 4-way configuration.
 	Cache *CacheConfig
+	// Profile attaches a site profiler to the run: allocations, field
+	// traffic, and cache misses are attributed to allocation sites and
+	// Class.field paths, readable afterwards via Program.Profile (and
+	// joinable across runs with PayoffReport). Off by default; the VM's
+	// hot loop pays nothing when disabled.
+	Profile bool
 
 	// Deprecated: set Cache instead. These per-field overrides predate
 	// CacheConfig and are honored only when Cache is nil.
@@ -262,11 +291,80 @@ func (p *Program) Run(opts RunOptions) (Metrics, error) {
 		}
 		ro.Cache = &cfg
 	}
+	if opts.Profile {
+		ro.Profile = vm.NewProfile()
+	}
 	counters, err := p.c.Run(ro)
 	if err != nil {
 		return Metrics{}, err
 	}
+	if ro.Profile != nil {
+		p.lastProfile = ro.Profile
+		p.lastCounters = counters
+	}
 	return metricsFrom(counters), nil
+}
+
+// SiteProfile is one allocation site's aggregated run attribution.
+type SiteProfile = vm.SiteProfile
+
+// FieldProfile is one Class.field path's aggregated run traffic.
+type FieldProfile = vm.FieldProfile
+
+// RunProfile is the site/field attribution of one profiled execution.
+type RunProfile struct {
+	// Sites is the allocation-site table, ordered by source position.
+	Sites []SiteProfile `json:"sites"`
+	// Fields is the per-Class.field traffic table.
+	Fields []FieldProfile `json:"fields"`
+	// DispatchAccesses/DispatchMisses count dynamic dispatches' receiver-
+	// header touches and how many of them missed the cache.
+	DispatchAccesses uint64 `json:"dispatch_accesses"`
+	DispatchMisses   uint64 `json:"dispatch_misses"`
+	// HeapPeakBytes is the run's heap-footprint high-water mark.
+	HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+}
+
+// Profile returns the attribution of the most recent Run with
+// RunOptions.Profile set, or nil if no profiled run has happened.
+func (p *Program) Profile() *RunProfile {
+	if p.lastProfile == nil {
+		return nil
+	}
+	accesses, misses := p.lastProfile.Dispatch()
+	return &RunProfile{
+		Sites:            p.lastProfile.Sites(),
+		Fields:           p.lastProfile.FieldPaths(),
+		DispatchAccesses: accesses,
+		DispatchMisses:   misses,
+		HeapPeakBytes:    p.lastProfile.HeapPeakBytes(),
+	}
+}
+
+// FieldPayoff is one inlined field's measured payoff in a RunReport.
+type FieldPayoff = bench.FieldPayoff
+
+// RunReport is the per-field payoff table PayoffReport produces: one row
+// per inlined field with the allocations, bytes, and cache misses the
+// field measurably saved, reconciled against the aggregate counter deltas.
+type RunReport = bench.ProgramPayoff
+
+// PayoffReport joins two profiled runs of the same source — on compiled
+// with Inline, off with Baseline or Direct — into a per-field payoff
+// table: what each inlined field actually saved, attributed through the
+// optimizer's stack-site provenance and the runs' site profiles. Both
+// programs must have executed with RunOptions.Profile set.
+func PayoffReport(on, off *Program) (*RunReport, error) {
+	if on == nil || off == nil {
+		return nil, fmt.Errorf("objinline: PayoffReport needs two programs")
+	}
+	if on.lastProfile == nil || off.lastProfile == nil {
+		return nil, fmt.Errorf("objinline: PayoffReport needs profiled runs (set RunOptions.Profile)")
+	}
+	return bench.ComputePayoff(
+		&bench.Measurement{Mode: on.c.Mode, Compiled: on.c, Counters: on.lastCounters, Profile: on.lastProfile},
+		&bench.Measurement{Mode: off.c.Mode, Compiled: off.c, Counters: off.lastCounters, Profile: off.lastProfile},
+	)
 }
 
 // Mode returns the pipeline the program was compiled under.
