@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet check-json bench bench-analysis payoff figs
+.PHONY: check build test race vet check-json bench bench-analysis bench-serve payoff figs serve
 
 check: build vet race check-json
 
@@ -50,3 +50,12 @@ payoff:
 # Regenerate the full evaluation (figure-sized workloads).
 figs:
 	$(GO) run ./cmd/objbench -fig all -scale default -stats
+
+# Run the oicd compile-and-explain service locally (docs/SERVER.md).
+serve:
+	$(GO) run ./cmd/oicd
+
+# Benchmark the service: cold vs warm compile throughput, latency
+# percentiles, cache hit rate, and byte-identity at concurrency 8.
+bench-serve:
+	$(GO) run ./cmd/objbench -fig serve

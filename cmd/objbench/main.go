@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|payoff|all] [-scale small|medium|default]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|serve|payoff|all] [-scale small|medium|default]
 //	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
 //
 // The extra "analysis" figure benchmarks the analysis phase itself
@@ -31,6 +31,7 @@ import (
 	"runtime/pprof"
 
 	"objinline/internal/bench"
+	"objinline/internal/bench/serve"
 )
 
 // figure is one regenerable table: its -fig name, how to compute its rows
@@ -105,6 +106,17 @@ var figures = []figure{
 		explicitOnly: true,
 	},
 	{
+		// The oicd service benchmark: cold vs warm compile throughput at
+		// fixed concurrency against an in-process server. Wall-clock, so
+		// explicit-only like "analysis" and "phases".
+		name: "serve",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) {
+			return serve.Run(serve.Options{Scale: s, Concurrency: 8})
+		},
+		print:        func(w io.Writer, rows any) { serve.Print(w, rows.(*serve.Result)) },
+		explicitOnly: true,
+	},
+	{
 		// Explicit-only not for timing reasons but because the profiled
 		// runs live in their own cache: folding them into -fig all would
 		// double every benchmark execution for figures that don't need
@@ -117,7 +129,7 @@ var figures = []figure{
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, payoff, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, serve, payoff, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
 	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

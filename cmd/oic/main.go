@@ -7,10 +7,15 @@
 // Usage:
 //
 //	oic [flags] program.icc
+//	oic [flags] -          # read the program from stdin
 //
 // Flags:
 //
 //	-mode direct|baseline|inline   pipeline (default inline)
+//	-timeout 5s                    abort compilation or execution after
+//	                               this long (default: no limit); the
+//	                               deadline is enforced inside the
+//	                               analysis solvers and the VM step loop
 //	-parallel                      use the parallel inlined-array layout
 //	-dump ir|analysis|report       print internals instead of metrics
 //	-explain Class.field           explain one field's inlining decision
@@ -29,41 +34,36 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"objinline"
+	"objinline/internal/server/api"
 	"objinline/internal/trace"
 )
 
-// envelope is the -json output: only the sections the flags requested are
-// present.
-type envelope struct {
-	File     string                  `json:"file"`
-	Mode     string                  `json:"mode"`
-	CodeSize int                     `json:"code_size"`
-	Inlined  []string                `json:"inlined,omitempty"`
-	Explain  *objinline.Decision     `json:"explain,omitempty"`
-	Stats    *objinline.CompileStats `json:"stats,omitempty"`
-	Metrics  *objinline.Metrics      `json:"metrics,omitempty"`
-	Profile  *objinline.RunProfile   `json:"profile,omitempty"`
-}
+// The -json output is the service's api.Envelope, shared by construction
+// with oicd's endpoints so the two surfaces cannot drift apart; only the
+// sections the flags requested are present.
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // run is the driver behind main, factored so tests can invoke the CLI
 // in-process with captured streams and so every exit path — compile
 // errors included — flows through the trace-file flush instead of
 // bypassing it via os.Exit.
-func run(args []string, stdout, stderr io.Writer) (code int) {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("oic", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	modeName := fs.String("mode", "inline", "pipeline: direct, baseline, or inline")
+	timeout := fs.Duration("timeout", 0, "abort compilation or execution after this long (0 = no limit)")
 	parallel := fs.Bool("parallel", false, "use the parallel inlined-array layout")
 	dump := fs.String("dump", "", "dump internals: ir, analysis, or report")
 	explain := fs.String("explain", "", "explain one field's inlining decision (e.g. Rectangle.lower_left)")
@@ -78,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: oic [flags] program.icc")
+		fmt.Fprintln(stderr, "usage: oic [flags] program.icc   (use - to read from stdin)")
 		fs.Usage()
 		return 2
 	}
@@ -110,7 +110,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}()
 	}
 
-	src, err := os.ReadFile(file)
+	var src []byte
+	var err error
+	if file == "-" {
+		// The conventional stdin name: pipe a program straight in
+		// (`generate | oic -json -`). The label matches what the
+		// diagnostics and source positions will say.
+		file = "<stdin>"
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(file)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -121,8 +131,24 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	cfg := objinline.Config{Mode: mode, ParallelArrays: *parallel}
 
-	prog, err := objinline.Compile(file, string(src), cfg, opts...)
+	// The -timeout budget is one end-to-end deadline across compilation
+	// and execution, enforced inside the analysis solvers and the VM step
+	// loop — a pathological program cannot blow past it in either place.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	deadlined := func(err error) int {
+		return fail(fmt.Errorf("exceeded the -timeout budget of %v: %w", *timeout, err))
+	}
+
+	prog, err := objinline.CompileContext(ctx, file, string(src), cfg, opts...)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return deadlined(err)
+		}
 		return fail(err)
 	}
 
@@ -141,9 +167,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return fail(fmt.Errorf("unknown dump kind %q", *dump))
 	}
 
-	env := envelope{File: file, Mode: prog.Mode().String(), CodeSize: prog.CodeSize()}
+	env := api.Envelope{File: file, Mode: prog.Mode().String(), CodeSize: prog.CodeSize()}
 	if *asJSON {
 		env.Inlined = prog.InlinedFields()
+		env.Rejected = prog.RejectedFields()
 	}
 
 	if *explain != "" {
@@ -168,8 +195,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		if *asJSON {
 			out = stderr
 		}
-		m, err := prog.Run(objinline.RunOptions{Output: out, Profile: *profile})
+		m, err := prog.RunContext(ctx, objinline.RunOptions{Output: out, Profile: *profile})
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return deadlined(err)
+			}
 			return fail(err)
 		}
 		if *asJSON {

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const fixture = "../../testdata/explain.icc"
@@ -22,7 +23,7 @@ const fixture = "../../testdata/explain.icc"
 // -trace), stderr carries the program's print output.
 func TestJSONEnvelopeGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-json", fixture}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-json", fixture}, strings.NewReader(""), &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
 	}
 	want, err := os.ReadFile("testdata/json_envelope.golden")
@@ -41,7 +42,7 @@ func TestJSONEnvelopeGolden(t *testing.T) {
 // the envelope with reconcilable numbers.
 func TestJSONEnvelopeWithProfile(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-json", "-profile", fixture}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-json", "-profile", fixture}, strings.NewReader(""), &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
 	}
 	var env struct {
@@ -80,7 +81,7 @@ func TestJSONEnvelopeWithProfile(t *testing.T) {
 func TestTraceOutWritesChromeTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-trace-out", path, fixture}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-trace-out", path, fixture}, strings.NewReader(""), &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
 	}
 	raw, err := os.ReadFile(path)
@@ -117,7 +118,7 @@ func TestTraceOutFlushedOnCompileError(t *testing.T) {
 	}
 	path := filepath.Join(dir, "trace.json")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-trace-out", path, bad}, &stdout, &stderr); code != 1 {
+	if code := run([]string{"-trace-out", path, bad}, strings.NewReader(""), &stdout, &stderr); code != 1 {
 		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stderr.String(), "oic:") {
@@ -143,7 +144,7 @@ func TestTraceOutRemovesStaleFileWhenNothingRan(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-trace-out", path, filepath.Join(dir, "missing.icc")}, &stdout, &stderr); code != 1 {
+	if code := run([]string{"-trace-out", path, filepath.Join(dir, "missing.icc")}, strings.NewReader(""), &stdout, &stderr); code != 1 {
 		t.Fatalf("exit code %d, want 1", code)
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -151,11 +152,65 @@ func TestTraceOutRemovesStaleFileWhenNothingRan(t *testing.T) {
 	}
 }
 
+// TestStdinProgram checks `oic -` compiles the program from stdin,
+// labeling diagnostics and output with "<stdin>".
+func TestStdinProgram(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	stdin := strings.NewReader("func main() { print(6 * 7); }")
+	if code := run([]string{"-json", "-"}, stdin, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	var env struct {
+		File string `json:"file"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if env.File != "<stdin>" {
+		t.Errorf("file = %q, want %q", env.File, "<stdin>")
+	}
+	if got := stderr.String(); got != "42\n" {
+		t.Errorf("program output = %q, want %q", got, "42\n")
+	}
+}
+
+// TestStdinErrorNamesStdin checks a bad stdin program's diagnostic points
+// at <stdin>, not a file.
+func TestStdinErrorNamesStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	stdin := strings.NewReader("func main() { return undefined_name; }")
+	if code := run([]string{"-"}, stdin, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "<stdin>") {
+		t.Errorf("diagnostic does not name <stdin>: %q", stderr.String())
+	}
+}
+
+// TestTimeoutCancelsRunawayProgram checks -timeout aborts an infinite
+// loop promptly with a diagnostic that names the budget.
+func TestTimeoutCancelsRunawayProgram(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	stdin := strings.NewReader("func main() { var i = 0; while (true) { i = i + 1; } }")
+	start := time.Now()
+	code := run([]string{"-timeout", "50ms", "-"}, stdin, &stdout, &stderr)
+	elapsed := time.Since(start)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if elapsed > time.Second {
+		t.Errorf("timeout took %v to fire", elapsed)
+	}
+	if !strings.Contains(stderr.String(), "-timeout budget of 50ms") {
+		t.Errorf("diagnostic does not name the budget: %q", stderr.String())
+	}
+}
+
 // TestExplainStillWorks guards the inspection path through the refactored
 // driver.
 func TestExplainStillWorks(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-explain", "Rect.p", fixture}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-explain", "Rect.p", fixture}, strings.NewReader(""), &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "Rect.p: inlined") {

@@ -1,0 +1,95 @@
+// Command oicd serves the objinline compiler over HTTP: POST /v1/compile,
+// /v1/explain, and /v1/run against a content-addressed result cache with
+// singleflight deduplication, a bounded worker pool with load shedding,
+// and per-request deadlines enforced through the compiler and VM. See
+// docs/SERVER.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"objinline/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main in testable form: it serves until ctx is canceled, then
+// drains gracefully. When ready is non-nil it receives the bound address
+// once the listener is accepting (so tests can use ":0").
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("oicd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
+	pool := fs.Int("pool", 0, "concurrent compile/run workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "requests queued beyond the pool before shedding with 429 (0 = 4x pool)")
+	cacheEntries := fs.Int("cache-entries", 0, "result-cache LRU bound (0 = 256)")
+	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = 10s)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on requested deadlines (0 = 60s)")
+	maxSource := fs.Int("max-source-bytes", 0, "largest accepted source, in bytes (0 = 1 MiB)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "oicd: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		PoolSize:        *pool,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxSourceBytes:  *maxSource,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "oicd: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "oicd: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "oicd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, then wait out in-flight requests
+	// (each holds its handler goroutine, so Shutdown returns only once
+	// they finish) up to the grace budget.
+	fmt.Fprintln(stdout, "oicd: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintf(stderr, "oicd: drain incomplete: %v\n", err)
+		hs.Close()
+		return 1
+	}
+	fmt.Fprintln(stdout, "oicd: bye")
+	return 0
+}

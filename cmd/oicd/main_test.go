@@ -1,0 +1,89 @@
+package main
+
+// End-to-end daemon test: boot on an ephemeral port, serve a compile,
+// then shut down gracefully on context cancellation (the SIGTERM path)
+// with exit code 0.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &stdout, &stderr, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exited:
+		t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(map[string]any{"source": "func main() { print(41 + 1); }"})
+	resp, err = http.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	envBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d: %s", resp.StatusCode, envBody)
+	}
+	var env struct {
+		Mode     string `json:"mode"`
+		CodeSize int    `json:"code_size"`
+	}
+	if err := json.Unmarshal(envBody, &env); err != nil || env.Mode != "inline" || env.CodeSize == 0 {
+		t.Errorf("compile envelope = %s", envBody)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(stdout.String(), "draining") {
+		t.Errorf("no drain message on stdout: %q", stdout.String())
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still accepting connections after shutdown")
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"extra"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("stray arg: exit %d, want 2", code)
+	}
+}

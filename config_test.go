@@ -1,0 +1,68 @@
+package objinline_test
+
+// Config.Fingerprint is a cache-key component (the oicd server's
+// content-addressed result cache hashes it with the source), so its
+// contract is load-bearing: equivalent configurations must encode
+// identically, distinct ones must not, and the encoding must be stable
+// run to run.
+
+import (
+	"strings"
+	"testing"
+
+	"objinline"
+)
+
+// TestFingerprintEquivalentConfigs pins the default-filling half of the
+// contract: a knob left zero and the same knob set to its default value
+// are the same configuration and must produce one fingerprint — otherwise
+// the server would compile (and cache) the same work twice.
+func TestFingerprintEquivalentConfigs(t *testing.T) {
+	zero := objinline.Config{Mode: objinline.Inline}
+	explicit := objinline.Config{
+		Mode:      objinline.Inline,
+		TagDepth:  3, // the documented default
+		MaxPasses: 8, // the documented default
+		Solver:    objinline.SolverWorklist,
+	}
+	if got, want := explicit.Fingerprint(), zero.Fingerprint(); got != want {
+		t.Errorf("explicit defaults fingerprint differently from zero values:\n  zero:     %s\n  explicit: %s", want, got)
+	}
+}
+
+// TestFingerprintDistinguishesKnobs checks every knob that can change
+// compilation output changes the fingerprint.
+func TestFingerprintDistinguishesKnobs(t *testing.T) {
+	base := objinline.Config{Mode: objinline.Inline}
+	variants := map[string]objinline.Config{
+		"mode":            {Mode: objinline.Baseline},
+		"parallel_arrays": {Mode: objinline.Inline, ParallelArrays: true},
+		"tag_depth":       {Mode: objinline.Inline, TagDepth: 5},
+		"max_passes":      {Mode: objinline.Inline, MaxPasses: 2},
+		"solver":          {Mode: objinline.Inline, Solver: objinline.SolverSweep},
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, cfg := range variants {
+		fp := cfg.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("configs %q and %q collide on fingerprint %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintIsStable pins the encoding itself: versioned, and
+// repeatable within a process. (Cross-run stability follows from the
+// fixed field order — nothing in the encoding iterates a map.)
+func TestFingerprintIsStable(t *testing.T) {
+	cfg := objinline.Config{Mode: objinline.Inline, ParallelArrays: true, TagDepth: 4}
+	fp := cfg.Fingerprint()
+	if !strings.HasPrefix(fp, "objinline.Config/v1;") {
+		t.Errorf("fingerprint %q lacks the version prefix", fp)
+	}
+	for i := 0; i < 100; i++ {
+		if again := cfg.Fingerprint(); again != fp {
+			t.Fatalf("fingerprint not repeatable: %q then %q", fp, again)
+		}
+	}
+}

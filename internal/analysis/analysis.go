@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"strconv"
@@ -93,10 +94,23 @@ type Result struct {
 // iteratively refining contour-selection policies between passes (the
 // demand-driven splitting of §3.2.1).
 func Analyze(prog *ir.Program, opts Options) *Result {
+	res, _ := AnalyzeContext(context.Background(), prog, opts)
+	return res
+}
+
+// AnalyzeContext is Analyze with cancellation: the solvers check the
+// context between contour evaluations (their innermost schedulable unit),
+// so a pathological contour blowup stops within one evaluation of the
+// deadline instead of running the pass to completion. A canceled analysis
+// returns a nil Result and an error wrapping ctx.Err(); a background
+// context makes the checks free (a nil Done channel is never polled).
+func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
 	opts = opts.WithDefaults()
 	a := &analyzer{
 		prog:       prog,
 		opts:       opts,
+		ctx:        ctx,
+		done:       ctx.Done(),
 		sweep:      opts.Solver == SolverSweep,
 		policies:   make(map[*ir.Func]*fnPolicy),
 		classSplit: make(map[*ir.Class]bool),
@@ -105,8 +119,11 @@ func Analyze(prog *ir.Program, opts Options) *Result {
 	}
 	for pass := 1; ; pass++ {
 		a.runPass()
+		if a.ctxErr != nil {
+			return nil, fmt.Errorf("analysis canceled in pass %d: %w", pass, a.ctxErr)
+		}
 		if pass >= a.opts.MaxPasses || !a.updatePolicies() {
-			return a.result(pass)
+			return a.result(pass), nil
 		}
 	}
 }
@@ -137,6 +154,13 @@ type analyzer struct {
 	prog  *ir.Program
 	opts  Options
 	sweep bool
+
+	// Cancellation (see AnalyzeContext). done is ctx.Done(), cached so the
+	// background-context case is a single nil comparison per checkpoint;
+	// ctxErr latches the first observed cancellation.
+	ctx    context.Context
+	done   <-chan struct{}
+	ctxErr error
 
 	// Cross-pass refinement state (monotone).
 	policies   map[*ir.Func]*fnPolicy

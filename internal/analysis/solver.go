@@ -80,6 +80,28 @@ type WorkStats struct {
 	Enqueues int
 }
 
+// cancelled reports whether the analysis context has been canceled,
+// latching the context error on first observation. Both solvers call it
+// before every contour evaluation — the drain loops' innermost
+// schedulable unit — so a canceled analysis stops within one contour
+// evaluation of the deadline. With no cancelable context (done == nil)
+// the check is a single nil comparison.
+func (a *analyzer) cancelled() bool {
+	if a.done == nil {
+		return false
+	}
+	if a.ctxErr != nil {
+		return true
+	}
+	select {
+	case <-a.done:
+		a.ctxErr = a.ctx.Err()
+		return true
+	default:
+		return false
+	}
+}
+
 // runSweep is the naive solver: global rounds over every contour until a
 // whole round changes nothing. Kept as the reference implementation
 // (Options.Solver == SolverSweep) for differential testing.
@@ -90,6 +112,10 @@ func (a *analyzer) runSweep() {
 		// The list grows while we iterate; newly created contours are
 		// evaluated within the same round.
 		for i := 0; i < len(a.mcList); i++ {
+			if a.cancelled() {
+				a.converged = false
+				return
+			}
 			a.evalContour(a.mcList[i])
 		}
 		if !a.changed {
@@ -107,6 +133,11 @@ func (a *analyzer) runWorklist() {
 		for i := 0; i < len(a.mcList); i++ {
 			if !a.dirtyCur[i] {
 				continue
+			}
+			if a.cancelled() {
+				a.converged = false
+				a.curIdx = -1
+				return
 			}
 			a.dirtyCur[i] = false
 			a.curIdx = i

@@ -1,0 +1,252 @@
+// Package serve is the oicd load generator: it stands up an in-process
+// server instance behind a real HTTP listener and measures compile
+// throughput and latency cold (every request a distinct cache key) and
+// warm (every request the same key, served from the content-addressed
+// cache), verifying on the way that warm responses are byte-identical to
+// the cold ones that populated them. objbench exposes it as -fig serve.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"objinline/internal/bench"
+	"objinline/internal/server"
+	"objinline/internal/server/api"
+)
+
+// Options configures one load run.
+type Options struct {
+	// Scale sizes the benchmark sources (default small: the service
+	// figure measures compile throughput, not VM runtime).
+	Scale bench.Scale
+	// Concurrency is the number of client workers (default 8).
+	Concurrency int
+	// Requests is the request count per phase (default 200).
+	Requests int
+	// Programs names the benchmark sources to cycle through (default all).
+	Programs []string
+	// Server tunes the embedded server; zero values get the server's own
+	// defaults except QueueDepth, which is raised to cover Concurrency so
+	// a correctly-sized run sheds nothing.
+	Server server.Config
+}
+
+// PhaseStats is one phase's aggregate measurement.
+type PhaseStats struct {
+	Requests   int           `json:"requests"`
+	Errors     int           `json:"errors"`
+	Duration   time.Duration `json:"duration_ns"`
+	Throughput float64       `json:"throughput_rps"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+}
+
+// Result is one load run's report.
+type Result struct {
+	Scale       string   `json:"scale"`
+	Concurrency int      `json:"concurrency"`
+	Programs    []string `json:"programs"`
+
+	Cold PhaseStats `json:"cold"`
+	Warm PhaseStats `json:"warm"`
+
+	// Speedup is warm over cold throughput (the acceptance floor is 5x).
+	Speedup float64 `json:"speedup"`
+	// HitRate is the warm phase's cache-hit fraction per X-Oicd-Cache.
+	HitRate float64 `json:"hit_rate"`
+	// Identical reports that every warm body matched its cold-populating
+	// body byte for byte.
+	Identical bool `json:"identical"`
+	// Shed counts 429 responses across both phases (zero when the queue
+	// is sized to the offered concurrency).
+	Shed int `json:"shed"`
+}
+
+// Run executes the load run.
+func Run(opts Options) (*Result, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 200
+	}
+	if len(opts.Programs) == 0 {
+		for _, p := range bench.Programs {
+			opts.Programs = append(opts.Programs, p.Name)
+		}
+	}
+	if opts.Server.QueueDepth < 2*opts.Concurrency {
+		opts.Server.QueueDepth = 2 * opts.Concurrency
+	}
+	if opts.Server.CacheEntries == 0 {
+		// The cold phase is all distinct keys; keep the LRU large enough
+		// that it exercises eviction without thrashing the warm set.
+		opts.Server.CacheEntries = opts.Requests + len(opts.Programs)
+	}
+
+	// One request body per program, shared by both phases; the cold phase
+	// makes each request a distinct key via a unique filename (the
+	// filename is part of the content address).
+	type target struct {
+		name   string
+		source string
+	}
+	targets := make([]target, 0, len(opts.Programs))
+	for _, name := range opts.Programs {
+		p, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		src, err := p.Source(bench.VariantAuto, opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{name: name, source: src})
+	}
+
+	srv := server.New(opts.Server)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = opts.Concurrency
+
+	res := &Result{
+		Scale:       opts.Scale.String(),
+		Concurrency: opts.Concurrency,
+		Programs:    opts.Programs,
+		Identical:   true,
+	}
+	var shed atomic.Int64
+
+	post := func(filename, source string) (status int, cacheHdr string, body []byte, err error) {
+		reqBody, err := json.Marshal(api.CompileRequest{
+			Filename: filename,
+			Source:   source,
+			Config:   api.Config{Mode: "inline"},
+		})
+		if err != nil {
+			return 0, "", nil, err
+		}
+		resp, err := client.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			return 0, "", nil, err
+		}
+		defer resp.Body.Close()
+		body, err = io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed.Add(1)
+		}
+		return resp.StatusCode, resp.Header.Get("X-Oicd-Cache"), body, err
+	}
+
+	// fire issues n requests from Concurrency workers, requests[i] being
+	// produced by make(i); it returns the latency distribution.
+	fire := func(n int, do func(i int) (ok bool)) PhaseStats {
+		latencies := make([]time.Duration, n)
+		errs := make([]bool, n)
+		var next atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					t0 := time.Now()
+					ok := do(i)
+					latencies[i] = time.Since(t0)
+					errs[i] = !ok
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		st := PhaseStats{
+			Requests: n,
+			Duration: elapsed,
+			P50:      latencies[n/2],
+			P99:      latencies[n*99/100],
+		}
+		for _, e := range errs {
+			if e {
+				st.Errors++
+			}
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			st.Throughput = float64(n) / secs
+		}
+		return st
+	}
+
+	// Cold phase: every request a fresh key, so every request compiles.
+	res.Cold = fire(opts.Requests, func(i int) bool {
+		t := targets[i%len(targets)]
+		status, _, _, err := post(fmt.Sprintf("%s-%d.icc", t.name, i), t.source)
+		return err == nil && status == http.StatusOK
+	})
+
+	// Prewarm: populate the warm keys and record the cold bodies the warm
+	// phase must replay byte for byte.
+	coldBody := make([][]byte, len(targets))
+	for i, t := range targets {
+		status, _, body, err := post(t.name+".icc", t.source)
+		if err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("serve: prewarm %s: status %d err %v", t.name, status, err)
+		}
+		coldBody[i] = body
+	}
+
+	// Warm phase: identical requests, all cache hits.
+	var hits atomic.Int64
+	var mismatch atomic.Bool
+	res.Warm = fire(opts.Requests, func(i int) bool {
+		ti := i % len(targets)
+		t := targets[ti]
+		status, cacheHdr, body, err := post(t.name+".icc", t.source)
+		if err != nil || status != http.StatusOK {
+			return false
+		}
+		if cacheHdr == "hit" {
+			hits.Add(1)
+		}
+		if !bytes.Equal(body, coldBody[ti]) {
+			mismatch.Store(true)
+		}
+		return true
+	})
+
+	res.Speedup = res.Warm.Throughput / res.Cold.Throughput
+	res.HitRate = float64(hits.Load()) / float64(opts.Requests)
+	res.Identical = !mismatch.Load()
+	res.Shed = int(shed.Load())
+	return res, nil
+}
+
+// Print renders the result as the -fig serve table.
+func Print(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "oicd service throughput (scale %s, concurrency %d, %d requests/phase, pool %d)\n",
+		r.Scale, r.Concurrency, r.Cold.Requests, runtime.GOMAXPROCS(0))
+	row := func(name string, st PhaseStats) {
+		fmt.Fprintf(w, "  %-5s %8.1f req/s   p50 %8s   p99 %8s   errors %d\n",
+			name, st.Throughput, st.P50.Round(10*time.Microsecond), st.P99.Round(10*time.Microsecond), st.Errors)
+	}
+	row("cold", r.Cold)
+	row("warm", r.Warm)
+	fmt.Fprintf(w, "  warm/cold speedup %.1fx   hit rate %.0f%%   byte-identical %v   shed %d\n",
+		r.Speedup, 100*r.HitRate, r.Identical, r.Shed)
+}

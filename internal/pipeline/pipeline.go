@@ -5,6 +5,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -74,6 +75,19 @@ type Compiled struct {
 
 // Compile compiles Mini-ICC source through the configured pipeline.
 func Compile(file, src string, cfg Config) (*Compiled, error) {
+	return CompileContext(context.Background(), file, src, cfg)
+}
+
+// CompileContext is Compile with cancellation: the context is checked
+// between phases and threaded into the contour analysis (whose fixpoint
+// solvers poll it between contour evaluations), so a compile of an
+// adversarial or pathological input stops within a bounded amount of work
+// of the deadline. A canceled compilation returns an error wrapping
+// ctx.Err(); whatever phase events completed remain on cfg.Trace.
+func CompileContext(ctx context.Context, file, src string, cfg Config) (*Compiled, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile canceled: %w", err)
+	}
 	tr := cfg.Trace
 	sp := tr.Start(trace.PhaseParse)
 	tree, err := parser.Parse(file, src)
@@ -81,11 +95,17 @@ func Compile(file, src string, cfg Config) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile canceled: %w", err)
+	}
 	sp = tr.Start(trace.PhaseCheck)
 	info, err := sem.Check(tree)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile canceled: %w", err)
 	}
 	sp = tr.Start(trace.PhaseLower)
 	prog, err := lower.Lower(info)
@@ -103,7 +123,11 @@ func Compile(file, src string, cfg Config) (*Compiled, error) {
 	aopts := cfg.Analysis
 	aopts.Tags = cfg.Mode == ModeInline
 	sp = tr.Start(trace.PhaseAnalysis)
-	res := analysis.Analyze(prog, aopts)
+	res, err := analysis.AnalyzeContext(ctx, prog, aopts)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	if tr != nil {
 		st := res.Stats()
 		sp.Counter("method-contours", int64(st.MethodContours))
@@ -118,6 +142,9 @@ func Compile(file, src string, cfg Config) (*Compiled, error) {
 	sp.End()
 	c.Analysis = res
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile canceled: %w", err)
+	}
 	sp = tr.Start(trace.PhaseOptimize)
 	opt, err := core.Optimize(prog, res, core.Options{
 		Inline:      cfg.Mode == ModeInline,
@@ -143,6 +170,9 @@ func Compile(file, src string, cfg Config) (*Compiled, error) {
 	// specialized methods are absorbed into their callers (§6.2.1's "most
 	// of the specialized methods are inlined"), then the peephole pass
 	// sweeps up the debris.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile canceled: %w", err)
+	}
 	sp = tr.Start(trace.PhaseFuncInline)
 	funcinline.Program(c.Prog, funcinline.DefaultOptions)
 	sp.Counter("instrs", int64(c.Prog.CodeSize()))
@@ -176,6 +206,13 @@ type RunOptions struct {
 
 // Run executes the compiled program and returns its dynamic counters.
 func (c *Compiled) Run(opts RunOptions) (vm.Counters, error) {
+	return c.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: the VM's step loop polls the
+// context, so an infinite loop returns an error wrapping ctx.Err() within
+// microseconds of the deadline (see vm.Machine.RunContext).
+func (c *Compiled) RunContext(ctx context.Context, opts RunOptions) (vm.Counters, error) {
 	tr := opts.Trace
 	if tr == nil {
 		tr = c.Trace
@@ -188,7 +225,7 @@ func (c *Compiled) Run(opts RunOptions) (vm.Counters, error) {
 		Trace:    tr,
 		Profile:  opts.Profile,
 	})
-	return m.Run()
+	return m.RunContext(ctx)
 }
 
 // CodeSize returns the executable program's instruction count (the

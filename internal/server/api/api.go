@@ -1,0 +1,131 @@
+// Package api defines the oicd service's wire types: the JSON request
+// bodies the /v1 endpoints accept and the response envelope they (and the
+// oic CLI's -json flag) emit. The envelope is shared with cmd/oic so the
+// two surfaces cannot drift apart — a field added here appears in both,
+// and the golden tests on either side pin the serialized shape.
+package api
+
+import "objinline"
+
+// Config is the wire form of objinline.Config. Zero values mean defaults
+// (mode "inline", solver "worklist", the analysis package's TagDepth and
+// MaxPasses defaults), exactly as the library treats them.
+type Config struct {
+	// Mode is the pipeline: "direct", "baseline", or "inline" (default).
+	Mode string `json:"mode,omitempty"`
+	// ParallelArrays selects the struct-of-arrays inlined-array layout.
+	ParallelArrays bool `json:"parallel_arrays,omitempty"`
+	// TagDepth caps use-specialization tag nesting (default 3).
+	TagDepth int `json:"tag_depth,omitempty"`
+	// MaxPasses bounds the analysis's iterative refinement (default 8).
+	MaxPasses int `json:"max_passes,omitempty"`
+	// Solver selects the analysis fixpoint engine: "worklist" (default)
+	// or "sweep".
+	Solver string `json:"solver,omitempty"`
+}
+
+// ToConfig converts the wire config to the library's, parsing the mode.
+func (c Config) ToConfig() (objinline.Config, error) {
+	mode := objinline.Inline
+	if c.Mode != "" {
+		var err error
+		if mode, err = objinline.ParseMode(c.Mode); err != nil {
+			return objinline.Config{}, err
+		}
+	}
+	return objinline.Config{
+		Mode:           mode,
+		ParallelArrays: c.ParallelArrays,
+		TagDepth:       c.TagDepth,
+		MaxPasses:      c.MaxPasses,
+		Solver:         c.Solver,
+	}, nil
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	// Filename labels diagnostics and source positions (default
+	// "request.icc"). It is part of the cache key: the same source under
+	// a different name produces different position strings.
+	Filename string `json:"filename,omitempty"`
+	// Source is the Mini-ICC program text.
+	Source string `json:"source"`
+	// Config shapes the compilation; zero values mean defaults.
+	Config Config `json:"config"`
+	// DeadlineMillis bounds this request end-to-end, compile included.
+	// 0 means the server's default deadline; values above the server's
+	// maximum are clamped to it.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// ExplainRequest is the body of POST /v1/explain: a compilation plus the
+// field to explain, named as InlinedFields/RejectedFields render it
+// (e.g. "Rectangle.lower_left", or "arr@<site>[]" for an array site).
+type ExplainRequest struct {
+	CompileRequest
+	Field string `json:"field"`
+}
+
+// RunRequest is the body of POST /v1/run: a compilation plus execution
+// options.
+type RunRequest struct {
+	CompileRequest
+	// MaxSteps bounds execution (0 means the VM default); the request
+	// deadline applies regardless.
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// DisableCache turns the simulated data cache off.
+	DisableCache bool `json:"disable_cache,omitempty"`
+	// Profile attaches the site profiler; the envelope then carries the
+	// run's allocation-site and field-path attribution.
+	Profile bool `json:"profile,omitempty"`
+	// IncludeOutput returns the program's print output in the envelope
+	// (capped at the server's output limit).
+	IncludeOutput bool `json:"include_output,omitempty"`
+}
+
+// Stable machine-readable error codes (Error.Code).
+const (
+	// CodeBadRequest marks a malformed or oversized request (400/413).
+	CodeBadRequest = "bad_request"
+	// CodeCompileError marks source the compiler rejected (422). The
+	// verdict is deterministic, so it is cached like a success.
+	CodeCompileError = "compile_error"
+	// CodeRuntimeError marks a program the VM aborted (422).
+	CodeRuntimeError = "runtime_error"
+	// CodeDeadlineExceeded marks a request its deadline canceled (504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeOverloaded marks a request shed because the worker queue was
+	// full (429, with Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeUnknownField marks an explain request for a field the program
+	// does not have (404).
+	CodeUnknownField = "unknown_field"
+)
+
+// Error is one structured service failure; Code is one of the Code*
+// constants above.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Envelope is the response body every endpoint (and oic -json) emits;
+// only the sections the request produced are present. The serialized
+// shape is a golden contract on both surfaces.
+type Envelope struct {
+	File     string                      `json:"file,omitempty"`
+	Mode     string                      `json:"mode,omitempty"`
+	CodeSize int                         `json:"code_size,omitempty"`
+	Inlined  []string                    `json:"inlined,omitempty"`
+	Rejected map[string]objinline.Reason `json:"rejected,omitempty"`
+	Explain  *objinline.Decision         `json:"explain,omitempty"`
+	Stats    *objinline.CompileStats     `json:"stats,omitempty"`
+	Metrics  *objinline.Metrics          `json:"metrics,omitempty"`
+	Profile  *objinline.RunProfile       `json:"profile,omitempty"`
+	// Output is the program's print output (run requests with
+	// IncludeOutput); OutputTruncated marks it as cut at the server's
+	// output cap.
+	Output          string `json:"output,omitempty"`
+	OutputTruncated bool   `json:"output_truncated,omitempty"`
+	Error           *Error `json:"error,omitempty"`
+}

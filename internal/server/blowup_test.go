@@ -1,0 +1,33 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+)
+
+// blowupSource generates a program whose contour analysis runs for
+// hundreds of milliseconds (n classes × n mutually recursive methods
+// under an n×n megamorphic call matrix) — the deadline tests cancel it
+// mid-analysis. Mirrors the generator in the root package's cancellation
+// tests.
+func blowupSource(n int) string {
+	var b strings.Builder
+	for c := 0; c < n; c++ {
+		fmt.Fprintf(&b, "class C%d {\n  v;\n  def init(v) { self.v = v; }\n", c)
+		for m := 0; m < n; m++ {
+			fmt.Fprintf(&b, "  def m%d(x, d) { if (d <= 0) { return self.v; } return x.m%d(self, d - 1); }\n", m, (m+1)%n)
+		}
+		b.WriteString("}\n")
+	}
+	b.WriteString("func main() {\n")
+	for c := 0; c < n; c++ {
+		fmt.Fprintf(&b, "  var o%d = new C%d(%d);\n", c, c, c)
+	}
+	for c := 0; c < n; c++ {
+		for d := 0; d < n; d++ {
+			fmt.Fprintf(&b, "  print(o%d.m0(o%d, %d));\n", c, d, n)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

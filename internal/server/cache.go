@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"objinline"
+)
+
+// cacheKey is the content address of one compilation: SHA-256 over the
+// canonical config fingerprint, the filename (it appears in diagnostics
+// and source positions, so it is part of the result), and the source
+// text, with NUL separators so no field can masquerade as another.
+func cacheKey(cfg objinline.Config, filename, source string) string {
+	h := sha256.New()
+	h.Write([]byte(cfg.Fingerprint()))
+	h.Write([]byte{0})
+	h.Write([]byte(filename))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is one cached compilation result. The leader that created it
+// fills the result fields and closes done; every other request for the
+// same key waits on done and reads them. The stored body is the compile
+// endpoint's exact response bytes, so warm responses are byte-identical
+// to the cold one.
+type entry struct {
+	key  string
+	done chan struct{}
+
+	// Result, immutable after done closes.
+	status int    // HTTP status of the compile response
+	body   []byte // serialized compile envelope, written verbatim on hits
+	prog   *objinline.Program
+	stats  objinline.CompileStats
+
+	// runMu serializes profiled runs of prog: Program keeps the last
+	// profile as state, so profile extraction must not interleave.
+	// Unprofiled runs touch no shared Program state and need no lock.
+	runMu sync.Mutex
+}
+
+// failed reports whether the entry holds diagnostics instead of a program.
+func (e *entry) failed() bool { return e.prog == nil }
+
+// cache is the content-addressed result cache: an LRU bound over
+// singleflight entries. Claiming a key either returns the existing entry
+// (a hit — possibly still in flight, in which case the caller waits on
+// done) or installs a fresh one and names the caller its leader.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element // of *entry
+	order   *list.List               // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+func newCache(maxEntries int) *cache {
+	return &cache{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// claim returns the entry for key, creating it when absent. leader is
+// true when the caller installed the entry and must compile, fill it, and
+// close done; false means another request is (or was) the leader and the
+// caller just waits. Creation evicts the least recently used entry beyond
+// the bound.
+func (c *cache) claim(key string) (e *entry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry), false
+	}
+	c.misses++
+	e = &entry{key: key, done: make(chan struct{})}
+	c.entries[key] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*entry).key)
+		c.evictions++
+	}
+	return e, true
+}
+
+// drop removes e so future requests for its key start fresh. The leader
+// calls it when its compile did not produce a cacheable result — it was
+// canceled at the deadline or shed under load — because caching those
+// would poison the key: deterministic compile *errors* stay cached,
+// transient conditions must not.
+func (c *cache) drop(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok && el.Value.(*entry) == e {
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+	}
+}
+
+// snapshot returns (entries, hits, misses, evictions) for the metrics
+// endpoint.
+func (c *cache) snapshot() (int, int64, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.hits, c.misses, c.evictions
+}

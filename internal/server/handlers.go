@@ -1,0 +1,385 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"objinline"
+	"objinline/internal/server/api"
+)
+
+// prepared is a validated request: normalized inputs, the cache key they
+// address, and the request-scoped context carrying the end-to-end
+// deadline (it covers queueing, compiling, and running alike).
+type prepared struct {
+	filename string
+	source   string
+	cfg      objinline.Config
+	key      string
+	deadline time.Time
+	ctx      context.Context
+	cancel   context.CancelFunc
+}
+
+// prepare decodes and validates a compile request. On failure it writes
+// the error response and returns ok=false. On success the caller must
+// defer p.cancel().
+func (s *Server) prepare(w http.ResponseWriter, r *http.Request, req *api.CompileRequest) (p prepared, ok bool) {
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "missing source field")
+		return p, false
+	}
+	if len(req.Source) > s.cfg.MaxSourceBytes {
+		s.writeError(w, http.StatusRequestEntityTooLarge, api.CodeBadRequest,
+			fmt.Sprintf("source is %d bytes; the limit is %d", len(req.Source), s.cfg.MaxSourceBytes))
+		return p, false
+	}
+	cfg, err := req.Config.ToConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return p, false
+	}
+	p.filename = req.Filename
+	if p.filename == "" {
+		p.filename = "request.icc"
+	}
+	p.source = req.Source
+	p.cfg = cfg
+	p.key = cacheKey(cfg, p.filename, p.source)
+
+	d := s.cfg.DefaultDeadline
+	if req.DeadlineMillis > 0 {
+		d = time.Duration(req.DeadlineMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	p.deadline = time.Now().Add(d)
+	p.ctx, p.cancel = context.WithDeadline(r.Context(), p.deadline)
+	return p, true
+}
+
+// decode unmarshals the request body into dst, bounding its size. It
+// writes the error response and returns false on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	// The body bound leaves headroom over MaxSourceBytes for JSON string
+	// escaping and the non-source fields; prepare enforces the precise
+	// source limit.
+	r.Body = http.MaxBytesReader(w, r.Body, 2*int64(s.cfg.MaxSourceBytes)+(64<<10))
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, api.CodeBadRequest, err.Error())
+		} else {
+			s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "invalid request body: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// ensureCompiled resolves p to a completed cache entry, compiling as the
+// singleflight leader when the key is new and waiting on the in-flight
+// leader otherwise. It returns ok=false after writing an error response
+// (shed, or the deadline landed while waiting). An ok entry may still
+// hold a compile failure — check entry.failed().
+func (s *Server) ensureCompiled(w http.ResponseWriter, r *http.Request, p *prepared) (*entry, bool) {
+	e, leader := s.results.claim(p.key)
+	w.Header().Set("X-Oicd-Cache-Key", p.key)
+	if !leader {
+		w.Header().Set("X-Oicd-Cache", "hit")
+		select {
+		case <-e.done:
+			return e, true
+		case <-p.ctx.Done():
+			s.metrics.deadlineExceeded.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
+				"deadline exceeded waiting for in-flight compilation: "+p.ctx.Err().Error())
+			return nil, false
+		}
+	}
+
+	w.Header().Set("X-Oicd-Cache", "miss")
+	if err := s.acquire(p.ctx); err != nil {
+		// The claim installed an entry other requests may already be
+		// waiting on: give it the same fate this request got, then drop
+		// it so the key is retried fresh.
+		status := http.StatusTooManyRequests
+		env := api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: err.Error()}}
+		if !errors.Is(err, errOverloaded) {
+			status = http.StatusGatewayTimeout
+			env.Error = &api.Error{Code: api.CodeDeadlineExceeded, Message: "deadline exceeded waiting for a worker: " + err.Error()}
+			s.metrics.deadlineExceeded.Add(1)
+		} else {
+			s.metrics.shed.Add(1)
+		}
+		e.status = status
+		e.body = marshalEnvelope(env)
+		s.results.drop(e)
+		close(e.done)
+		s.replay(w, e)
+		return nil, false
+	}
+	defer s.release()
+
+	// Compile detached from the client connection (WithoutCancel): the
+	// result is shared with every coalesced request, so one client
+	// hanging up must not cancel it. The deadline still applies.
+	ctx, cancel := context.WithDeadline(context.WithoutCancel(r.Context()), p.deadline)
+	defer cancel()
+	s.compileInto(ctx, e, p)
+	return e, true
+}
+
+// compileInto runs the compilation and fills e, closing e.done. Compile
+// errors are deterministic and stay cached; a deadline-canceled compile
+// is dropped from the cache so the key can be retried.
+func (s *Server) compileInto(ctx context.Context, e *entry, p *prepared) {
+	defer close(e.done)
+	s.metrics.compiles.Add(1)
+	prog, err := objinline.CompileContext(ctx, p.filename, p.source, p.cfg, objinline.WithTracing())
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.deadlineExceeded.Add(1)
+			e.status = http.StatusGatewayTimeout
+			e.body = marshalEnvelope(api.Envelope{
+				File:  p.filename,
+				Error: &api.Error{Code: api.CodeDeadlineExceeded, Message: err.Error()},
+			})
+			s.results.drop(e)
+			return
+		}
+		e.status = http.StatusUnprocessableEntity
+		e.body = marshalEnvelope(api.Envelope{
+			File:  p.filename,
+			Error: &api.Error{Code: api.CodeCompileError, Message: err.Error()},
+		})
+		return
+	}
+	e.prog = prog
+	e.stats = prog.CompileStats()
+	e.status = http.StatusOK
+	e.body = marshalEnvelope(api.Envelope{
+		File:     p.filename,
+		Mode:     prog.Mode().String(),
+		CodeSize: prog.CodeSize(),
+		Inlined:  prog.InlinedFields(),
+		Rejected: prog.RejectedFields(),
+		Stats:    &e.stats,
+	})
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req api.CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, ok := s.prepare(w, r, &req)
+	if !ok {
+		return
+	}
+	defer p.cancel()
+	e, ok := s.ensureCompiled(w, r, &p)
+	if !ok {
+		return
+	}
+	s.replay(w, e)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req api.ExplainRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Field == "" {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "missing field to explain")
+		return
+	}
+	p, ok := s.prepare(w, r, &req.CompileRequest)
+	if !ok {
+		return
+	}
+	defer p.cancel()
+	e, ok := s.ensureCompiled(w, r, &p)
+	if !ok {
+		return
+	}
+	if e.failed() {
+		s.replay(w, e)
+		return
+	}
+	d, err := e.prog.Explain(req.Field)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, api.CodeUnknownField, err.Error())
+		return
+	}
+	s.writeEnvelope(w, http.StatusOK, api.Envelope{
+		File:    p.filename,
+		Mode:    e.prog.Mode().String(),
+		Explain: &d,
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, ok := s.prepare(w, r, &req.CompileRequest)
+	if !ok {
+		return
+	}
+	defer p.cancel()
+	e, ok := s.ensureCompiled(w, r, &p)
+	if !ok {
+		return
+	}
+	if e.failed() {
+		s.replay(w, e)
+		return
+	}
+
+	// Runs are per-request work (never cached), so each one occupies a
+	// worker; the request context keeps the client's cancellation — a
+	// run's result is not shared, so hanging up may cancel it.
+	if err := s.acquire(p.ctx); err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, api.CodeOverloaded, err.Error())
+		} else {
+			s.metrics.deadlineExceeded.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
+				"deadline exceeded waiting for a worker: "+err.Error())
+		}
+		return
+	}
+	defer s.release()
+	s.metrics.runs.Add(1)
+
+	out := capWriter{max: s.cfg.MaxOutputBytes}
+	ro := objinline.RunOptions{
+		MaxSteps:     req.MaxSteps,
+		DisableCache: req.DisableCache,
+		Profile:      req.Profile,
+		// Each run gets its own sink so concurrent runs do not append to
+		// the program's shared compile-time trace.
+		Trace: &objinline.TraceSink{},
+	}
+	if req.IncludeOutput {
+		ro.Output = &out
+	}
+	var (
+		m       objinline.Metrics
+		profile *objinline.RunProfile
+		err     error
+	)
+	if req.Profile {
+		// Profiled runs read their attribution back off the Program, so
+		// they are serialized per entry.
+		e.runMu.Lock()
+		m, err = e.prog.RunContext(p.ctx, ro)
+		if err == nil {
+			profile = e.prog.Profile()
+		}
+		e.runMu.Unlock()
+	} else {
+		m, err = e.prog.RunContext(p.ctx, ro)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.deadlineExceeded.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded, err.Error())
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, api.CodeRuntimeError, err.Error())
+		return
+	}
+	env := api.Envelope{
+		File:    p.filename,
+		Mode:    e.prog.Mode().String(),
+		Metrics: &m,
+		Profile: profile,
+	}
+	if req.IncludeOutput {
+		env.Output = out.buf.String()
+		env.OutputTruncated = out.truncated
+	}
+	s.writeEnvelope(w, http.StatusOK, env)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+// marshalEnvelope serializes the response body. Cached bodies are these
+// exact bytes, replayed verbatim — a warm response is byte-identical to
+// the cold one that populated it.
+func marshalEnvelope(env api.Envelope) []byte {
+	body, err := json.Marshal(env)
+	if err != nil {
+		// Envelope contains only marshalable types; this is unreachable
+		// short of a programming error in the wire structs.
+		body, _ = json.Marshal(api.Envelope{Error: &api.Error{
+			Code: api.CodeCompileError, Message: "response serialization failed: " + err.Error(),
+		}})
+	}
+	return append(body, '\n')
+}
+
+func (s *Server) writeEnvelope(w http.ResponseWriter, status int, env api.Envelope) {
+	body := marshalEnvelope(env)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeEnvelope(w, status, api.Envelope{Error: &api.Error{Code: code, Message: msg}})
+}
+
+// replay writes a cache entry's stored response verbatim.
+func (s *Server) replay(w http.ResponseWriter, e *entry) {
+	if e.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.body)))
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+// capWriter keeps the first max bytes written and flags truncation.
+type capWriter struct {
+	buf       bytes.Buffer
+	max       int
+	truncated bool
+}
+
+func (c *capWriter) Write(p []byte) (int, error) {
+	if room := c.max - c.buf.Len(); room < len(p) {
+		if room > 0 {
+			c.buf.Write(p[:room])
+		}
+		c.truncated = true
+	} else {
+		c.buf.Write(p)
+	}
+	return len(p), nil
+}

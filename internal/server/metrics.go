@@ -1,0 +1,47 @@
+package server
+
+import "expvar"
+
+// metrics is one server instance's counter set, served as the JSON body of
+// GET /metrics. Each Server owns its own expvar.Map instead of publishing
+// process-global vars, so several servers in one process (the tests, the
+// load generator) never collide in the global expvar registry.
+type metrics struct {
+	vars *expvar.Map
+
+	requests         expvar.Int // requests_total
+	compiles         expvar.Int // compiles_total: compiles actually executed (cache misses that ran)
+	runs             expvar.Int // runs_total: VM executions
+	shed             expvar.Int // shed_total: requests rejected with 429
+	deadlineExceeded expvar.Int // deadline_exceeded_total: requests that hit their deadline
+	inflight         expvar.Int // gauge: requests currently being served
+}
+
+func newMetrics(s *Server) *metrics {
+	m := &metrics{vars: new(expvar.Map).Init()}
+	m.vars.Set("requests_total", &m.requests)
+	m.vars.Set("compiles_total", &m.compiles)
+	m.vars.Set("runs_total", &m.runs)
+	m.vars.Set("shed_total", &m.shed)
+	m.vars.Set("deadline_exceeded_total", &m.deadlineExceeded)
+	m.vars.Set("inflight", &m.inflight)
+	m.vars.Set("workers_busy", expvar.Func(func() any { return len(s.workers) }))
+	m.vars.Set("queue_depth", expvar.Func(func() any { return s.queued.Load() }))
+	m.vars.Set("cache_entries", expvar.Func(func() any {
+		n, _, _, _ := s.results.snapshot()
+		return n
+	}))
+	m.vars.Set("cache_hits_total", expvar.Func(func() any {
+		_, hits, _, _ := s.results.snapshot()
+		return hits
+	}))
+	m.vars.Set("cache_misses_total", expvar.Func(func() any {
+		_, _, misses, _ := s.results.snapshot()
+		return misses
+	}))
+	m.vars.Set("cache_evictions_total", expvar.Func(func() any {
+		_, _, _, ev := s.results.snapshot()
+		return ev
+	}))
+	return m
+}

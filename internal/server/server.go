@@ -1,0 +1,140 @@
+// Package server implements oicd, the compile-and-explain service: an
+// HTTP/JSON front end over the objinline compiler with a
+// content-addressed result cache (singleflight-deduplicated, LRU-bounded),
+// a bounded worker pool with queue-depth load shedding, and per-request
+// deadlines enforced end-to-end through the compiler's fixpoint solvers
+// and the VM's step loop.
+//
+// Endpoints (see docs/SERVER.md for the full API reference):
+//
+//	POST /v1/compile  — diagnostics, inlining decisions, CompileStats
+//	POST /v1/explain  — one field's typed Decision with evidence chain
+//	POST /v1/run      — VM execution: counters, optional profile/output
+//	GET  /healthz     — liveness
+//	GET  /metrics     — this instance's counters as expvar-style JSON
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a server instance. Zero values mean defaults.
+type Config struct {
+	// PoolSize bounds concurrent compiler/VM work (default GOMAXPROCS).
+	PoolSize int
+	// QueueDepth bounds requests waiting for a worker; beyond it requests
+	// are shed with 429 + Retry-After (default 4×PoolSize).
+	QueueDepth int
+	// CacheEntries bounds the result cache's LRU (default 256).
+	CacheEntries int
+	// DefaultDeadline applies when a request names none (default 10s).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps requested deadlines (default 60s).
+	MaxDeadline time.Duration
+	// MaxSourceBytes bounds the source field; larger requests get 413
+	// (default 1 MiB).
+	MaxSourceBytes int
+	// MaxOutputBytes caps the program output a run response carries
+	// (default 256 KiB); beyond it the envelope sets output_truncated.
+	MaxOutputBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.PoolSize
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 256 << 10
+	}
+	return c
+}
+
+// Server is one oicd instance. It is an http.Handler; plug it into any
+// http.Server (whose Shutdown gives graceful draining — in-flight
+// requests hold the handler goroutine, so Shutdown waits for them).
+type Server struct {
+	cfg     Config
+	results *cache
+	mux     *http.ServeMux
+	metrics *metrics
+
+	// workers is the bounded pool: holding a token = doing compiler or VM
+	// work. queued counts requests waiting for a token; beyond
+	// cfg.QueueDepth, acquire sheds instead of queueing.
+	workers chan struct{}
+	queued  atomic.Int64
+}
+
+// New builds a server with cfg (zero values defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		results: newCache(cfg.CacheEntries),
+		workers: make(chan struct{}, cfg.PoolSize),
+		mux:     http.NewServeMux(),
+	}
+	s.metrics = newMetrics(s)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// errOverloaded reports that the wait queue is full and the request must
+// be shed.
+var errOverloaded = errors.New("server overloaded: worker queue full")
+
+// acquire claims a worker token, queueing up to cfg.QueueDepth waiters.
+// It returns errOverloaded when the queue is full and ctx.Err() when the
+// request's deadline lands first. Cache hits never call this — only work
+// that will occupy a compiler or VM needs a token.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.workers <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errOverloaded
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.workers <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.workers }

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -47,8 +48,19 @@ type Machine struct {
 	tr   *trace.Sink
 	prof *Profile
 
+	// Cancellation state for RunContext: done is ctx.Done(), cached so a
+	// background context costs one nil comparison per checked instruction.
+	ctx  context.Context
+	done <-chan struct{}
+
 	slotMaps map[*ir.Class]map[string]int
 }
+
+// cancelCheckMask throttles the step loop's context polling: the Done
+// channel is selected once every (mask+1) instructions, bounding both the
+// polling overhead and how far past a deadline a runaway program can run
+// (a few thousand interpreted instructions — microseconds).
+const cancelCheckMask = 0x3FF
 
 // New prepares a machine for prog.
 func New(prog *ir.Program, opts Options) *Machine {
@@ -99,13 +111,28 @@ func (e *RuntimeError) Error() string {
 
 type vmPanic struct{ err *RuntimeError }
 
+// cancelPanic unwinds the step loop when the run context is canceled; the
+// carried error wraps ctx.Err() so callers can match it with errors.Is.
+type cancelPanic struct{ err error }
+
 func (m *Machine) fail(pos source.Pos, format string, args ...any) {
 	panic(vmPanic{&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}})
 }
 
 // Run executes $init (if present) and then main, returning the accumulated
 // counters.
-func (m *Machine) Run() (c Counters, err error) {
+func (m *Machine) Run() (Counters, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the step loop polls the context
+// every few thousand instructions, so an infinite loop (or any runaway
+// program) returns an error wrapping ctx.Err() within microseconds of the
+// deadline instead of running to the step limit. The counters accumulated
+// up to the cancellation are returned alongside the error.
+func (m *Machine) RunContext(ctx context.Context) (c Counters, err error) {
+	m.ctx = ctx
+	m.done = ctx.Done()
 	sp := m.tr.Start(trace.PhaseRun)
 	defer func() {
 		sp.Counter("instructions", int64(m.counts.Instructions))
@@ -121,11 +148,22 @@ func (m *Machine) Run() (c Counters, err error) {
 				c = m.counts
 				return
 			}
+			if cp, ok := r.(cancelPanic); ok {
+				err = cp.err
+				c = m.counts
+				return
+			}
 			panic(r)
 		}
 	}()
 	if m.prog.Main == nil {
 		return m.counts, errors.New("vm: program has no main")
+	}
+	// The step loop only polls every cancelCheckMask+1 instructions, so a
+	// context that is already dead would let a short program run to
+	// completion; check once up front.
+	if err := ctx.Err(); err != nil {
+		return m.counts, fmt.Errorf("vm: execution canceled: %w", err)
 	}
 	if init := m.prog.FuncNamed(lower.InitFuncName); init != nil {
 		m.exec(init, nil)
@@ -246,6 +284,13 @@ func (m *Machine) exec(fn *ir.Func, args []Value) Value {
 		m.counts.Instructions++
 		if m.counts.Instructions > m.maxStep {
 			m.fail(in.Pos, "step limit exceeded (%d)", m.maxStep)
+		}
+		if m.done != nil && m.counts.Instructions&cancelCheckMask == 0 {
+			select {
+			case <-m.done:
+				panic(cancelPanic{fmt.Errorf("vm: execution canceled at %s: %w", in.Pos, m.ctx.Err())})
+			default:
+			}
 		}
 		m.charge(DimBase, 1)
 

@@ -28,6 +28,7 @@
 package objinline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -111,6 +112,26 @@ type Config struct {
 	Solver string
 }
 
+// Fingerprint returns a stable, versioned, canonical encoding of the
+// configuration, suitable as a cache-key component (the oicd server keys
+// its content-addressed result cache on SHA-256(source) ⊕ Fingerprint).
+// Equivalent configurations fingerprint identically: every knob is
+// default-filled before encoding, so an explicit TagDepth 3 and an
+// implicit zero are the same key, and the fields are rendered in a fixed
+// order — no map iteration is involved. Any configuration change that can
+// alter compilation output (or its observable statistics, such as the
+// solver's work counters) changes the fingerprint, and the leading
+// version tag must be bumped whenever the encoding itself changes.
+func (c Config) Fingerprint() string {
+	a := analysis.Options{
+		TagDepth:  c.TagDepth,
+		MaxPasses: c.MaxPasses,
+		Solver:    c.Solver,
+	}.WithDefaults()
+	return fmt.Sprintf("objinline.Config/v1;max_passes=%d;mode=%s;parallel_arrays=%t;solver=%s;tag_depth=%d",
+		a.MaxPasses, c.Mode, c.ParallelArrays, a.Solver, a.TagDepth)
+}
+
 // Option is a functional compilation option (beyond the Config knobs that
 // shape the generated code, options configure how the compilation is
 // observed).
@@ -158,6 +179,16 @@ type Program struct {
 
 // Compile builds a program from Mini-ICC source text.
 func Compile(filename, src string, cfg Config, opts ...Option) (*Program, error) {
+	return CompileContext(context.Background(), filename, src, cfg, opts...)
+}
+
+// CompileContext is Compile with cancellation: the context's deadline is
+// enforced end-to-end through the pipeline, including inside the contour
+// analysis's fixpoint solvers, so even a pathological input stops within
+// a bounded amount of work of the deadline. A canceled compilation
+// returns an error wrapping ctx.Err() (match it with
+// errors.Is(err, context.DeadlineExceeded) or context.Canceled).
+func CompileContext(ctx context.Context, filename, src string, cfg Config, opts ...Option) (*Program, error) {
 	var settings compileSettings
 	for _, o := range opts {
 		o(&settings)
@@ -177,7 +208,7 @@ func Compile(filename, src string, cfg Config, opts ...Option) (*Program, error)
 	if cfg.ParallelArrays {
 		layout = core.LayoutParallel
 	}
-	c, err := pipeline.Compile(filename, src, pipeline.Config{
+	c, err := pipeline.CompileContext(ctx, filename, src, pipeline.Config{
 		Mode:        mode,
 		ArrayLayout: layout,
 		Analysis: analysis.Options{
@@ -220,6 +251,11 @@ type RunOptions struct {
 	// joinable across runs with PayoffReport). Off by default; the VM's
 	// hot loop pays nothing when disabled.
 	Profile bool
+	// Trace, when non-nil, receives this run's phase event instead of the
+	// sink the program was compiled with. Callers that execute one
+	// compiled program many times (the oicd server) use it to keep each
+	// run's timing separate from the shared compile-time sink.
+	Trace *TraceSink
 
 	// Deprecated: set Cache instead. These per-field overrides predate
 	// CacheConfig and are honored only when Cache is nil.
@@ -269,7 +305,15 @@ func metricsFrom(c vm.Counters) Metrics {
 
 // Run executes the program.
 func (p *Program) Run(opts RunOptions) (Metrics, error) {
-	ro := pipeline.RunOptions{Out: opts.Output, MaxSteps: opts.MaxSteps}
+	return p.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: the VM's step loop polls the
+// context every few thousand instructions, so an infinite loop (or any
+// runaway program) returns an error wrapping ctx.Err() within
+// microseconds of the deadline instead of running to the step limit.
+func (p *Program) RunContext(ctx context.Context, opts RunOptions) (Metrics, error) {
+	ro := pipeline.RunOptions{Out: opts.Output, MaxSteps: opts.MaxSteps, Trace: opts.Trace}
 	if !opts.DisableCache {
 		cfg := cachesim.DefaultConfig
 		geo := opts.Cache
@@ -294,7 +338,7 @@ func (p *Program) Run(opts RunOptions) (Metrics, error) {
 	if opts.Profile {
 		ro.Profile = vm.NewProfile()
 	}
-	counters, err := p.c.Run(ro)
+	counters, err := p.c.RunContext(ctx, ro)
 	if err != nil {
 		return Metrics{}, err
 	}
