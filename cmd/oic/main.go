@@ -17,6 +17,13 @@
 //	                               deadline is enforced inside the
 //	                               analysis solvers and the VM step loop
 //	-parallel                      use the parallel inlined-array layout
+//	-solver worklist|sweep|parallel
+//	                               contour-analysis fixpoint engine
+//	                               (default worklist); all three produce
+//	                               byte-identical results
+//	-jobs N                        worker count for -solver parallel
+//	                               (default GOMAXPROCS; ignored by the
+//	                               sequential solvers)
 //	-dump ir|analysis|report       print internals instead of metrics
 //	-explain Class.field           explain one field's inlining decision
 //	-trace                         record and print per-phase compile times
@@ -65,6 +72,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	modeName := fs.String("mode", "inline", "pipeline: direct, baseline, or inline")
 	timeout := fs.Duration("timeout", 0, "abort compilation or execution after this long (0 = no limit)")
 	parallel := fs.Bool("parallel", false, "use the parallel inlined-array layout")
+	solver := fs.String("solver", "", "analysis solver: worklist, sweep, or parallel (default worklist)")
+	jobs := fs.Int("jobs", 0, "worker count for -solver parallel (0 = GOMAXPROCS)")
 	dump := fs.String("dump", "", "dump internals: ir, analysis, or report")
 	explain := fs.String("explain", "", "explain one field's inlining decision (e.g. Rectangle.lower_left)")
 	doTrace := fs.Bool("trace", false, "record per-phase compile (and run) times")
@@ -129,7 +138,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		return fail(err)
 	}
-	cfg := objinline.Config{Mode: mode, ParallelArrays: *parallel}
+	switch *solver {
+	case "", objinline.SolverWorklist, objinline.SolverSweep, objinline.SolverParallel:
+	default:
+		return fail(fmt.Errorf("unknown solver %q (want worklist, sweep, or parallel)", *solver))
+	}
+	cfg := objinline.Config{Mode: mode, ParallelArrays: *parallel, Solver: *solver, Jobs: *jobs}
 
 	// The -timeout budget is one end-to-end deadline across compilation
 	// and execution, enforced inside the analysis solvers and the VM step

@@ -40,6 +40,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = 10s)")
 	maxDeadline := fs.Duration("max-deadline", 0, "cap on requested deadlines (0 = 60s)")
 	maxSource := fs.Int("max-source-bytes", 0, "largest accepted source, in bytes (0 = 1 MiB)")
+	analysisJobs := fs.Int("analysis-jobs", 0, "per-request parallel-solver worker cap (0 = GOMAXPROCS)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,6 +60,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		MaxSourceBytes:  *maxSource,
+		AnalysisJobs:    *analysisJobs,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,9 +1,10 @@
 package objinline_test
 
 // End-to-end cancellation coverage: a deadline must stop a pathological
-// compile inside the analysis fixpoint (both solvers) and a runaway
-// program inside the VM step loop, promptly — the oicd server's
-// per-request deadlines are only as good as these guarantees.
+// compile inside the analysis fixpoint (all three solvers, including the
+// parallel pool) and a runaway program inside the VM step loop, promptly
+// — the oicd server's per-request deadlines are only as good as these
+// guarantees.
 
 import (
 	"context"
@@ -19,6 +20,22 @@ import (
 // cancelSlack is how far past its deadline a cancellation may return and
 // still count as prompt (the service-level acceptance bound).
 const cancelSlack = 100 * time.Millisecond
+
+// cancelSolvers enumerates the solver configurations the cancellation
+// tests cover: both sequential engines and the parallel engine with an
+// explicit multi-worker pool (Jobs: 4 forces real workers even on a
+// single-CPU runner, where the GOMAXPROCS default would degenerate to
+// the sequential path).
+var cancelSolvers = []struct {
+	name   string
+	solver string
+	jobs   int
+}{
+	{objinline.SolverWorklist, objinline.SolverWorklist, 0},
+	{objinline.SolverSweep, objinline.SolverSweep, 0},
+	{objinline.SolverParallel, objinline.SolverParallel, 0},
+	{objinline.SolverParallel + "-jobs4", objinline.SolverParallel, 4},
+}
 
 // contourBlowupSource generates a program whose contour analysis is
 // pathologically expensive: n classes × n mutually recursive methods,
@@ -48,20 +65,20 @@ func contourBlowupSource(n int) string {
 	return b.String()
 }
 
-// TestCompileCancelInAnalysis checks both fixpoint solvers honor the
+// TestCompileCancelInAnalysis checks every fixpoint solver honors the
 // deadline mid-analysis: the blowup compile must return
 // context.DeadlineExceeded within cancelSlack of the deadline instead of
 // running the analysis (hundreds of milliseconds) to completion.
 func TestCompileCancelInAnalysis(t *testing.T) {
 	src := contourBlowupSource(20)
-	for _, solver := range []string{objinline.SolverWorklist, objinline.SolverSweep} {
-		t.Run(solver, func(t *testing.T) {
+	for _, sc := range cancelSolvers {
+		t.Run(sc.name, func(t *testing.T) {
 			const deadline = 20 * time.Millisecond
 			ctx, cancel := context.WithTimeout(context.Background(), deadline)
 			defer cancel()
 			start := time.Now()
 			_, err := objinline.CompileContext(ctx, "blowup.icc", src,
-				objinline.Config{Mode: objinline.Inline, Solver: solver})
+				objinline.Config{Mode: objinline.Inline, Solver: sc.solver, Jobs: sc.jobs})
 			elapsed := time.Since(start)
 			if !errors.Is(err, context.DeadlineExceeded) {
 				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
@@ -78,11 +95,11 @@ func TestCompileCancelInAnalysis(t *testing.T) {
 func TestCompileCancelExpiredContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, solver := range []string{objinline.SolverWorklist, objinline.SolverSweep} {
+	for _, sc := range cancelSolvers {
 		_, err := objinline.CompileContext(ctx, "x.icc", "func main() { print(1); }",
-			objinline.Config{Mode: objinline.Inline, Solver: solver})
+			objinline.Config{Mode: objinline.Inline, Solver: sc.solver, Jobs: sc.jobs})
 		if !errors.Is(err, context.Canceled) {
-			t.Errorf("solver %s: err = %v, want context.Canceled", solver, err)
+			t.Errorf("solver %s: err = %v, want context.Canceled", sc.name, err)
 		}
 	}
 }
@@ -93,10 +110,10 @@ func TestCompileCancelExpiredContext(t *testing.T) {
 // solver modes compile the loop, pinning the whole pipeline path.
 func TestRunCancelInfiniteLoop(t *testing.T) {
 	const src = "func main() { var i = 0; while (true) { i = i + 1; } }"
-	for _, solver := range []string{objinline.SolverWorklist, objinline.SolverSweep} {
-		t.Run(solver, func(t *testing.T) {
+	for _, sc := range cancelSolvers {
+		t.Run(sc.name, func(t *testing.T) {
 			prog, err := objinline.Compile("loop.icc", src,
-				objinline.Config{Mode: objinline.Inline, Solver: solver})
+				objinline.Config{Mode: objinline.Inline, Solver: sc.solver, Jobs: sc.jobs})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -4,13 +4,15 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strconv"
 
 	"objinline/internal/ir"
 	"objinline/internal/lower"
 )
 
-// Solver names for Options.Solver (see solver.go for the worklist design).
+// Solver names for Options.Solver (see solver.go for the worklist design
+// and parallel.go for the worker-pool solver).
 const (
 	// SolverWorklist is the dependency-driven worklist solver: only the
 	// contours whose inputs changed are re-evaluated. The default.
@@ -19,6 +21,16 @@ const (
 	// re-evaluated every round until nothing changes. Kept as the
 	// reference implementation for differential testing.
 	SolverSweep = "sweep"
+	// SolverParallel solves each pass on a bounded worker pool
+	// (Options.Jobs), scheduling contours by the SCC condensation of the
+	// evolving call graph. Its output is byte-identical to the other
+	// solvers at any worker count: below the lattice's saturation points
+	// every merge is an exact set union (schedule-independent), contour
+	// and tag identities are intrinsic (canonicalize in canon.go), and
+	// the order-sensitive events — tag-set saturation, MaxContours
+	// overflow — deterministically fall back to a sequential re-run of
+	// the pass.
+	SolverParallel = "parallel"
 )
 
 // Options configures an analysis run.
@@ -35,12 +47,25 @@ type Options struct {
 	MaxContours int
 	// TagDepth caps tag nesting before collapsing to Top (default 3).
 	TagDepth int
-	// Solver selects the fixpoint engine: SolverWorklist (default) or
-	// SolverSweep. Both compute identical results (differentially
-	// tested); the worklist does far less work.
+	// Solver selects the fixpoint engine: SolverWorklist (default),
+	// SolverSweep, or SolverParallel. All compute identical results
+	// (differentially tested); the worklist does far less work than the
+	// sweep, and the parallel solver spreads the worklist's work over
+	// Jobs workers.
 	Solver string
+	// Jobs bounds the parallel solver's worker pool. 0 (the default)
+	// means GOMAXPROCS, resolved when the solver starts — deliberately
+	// not materialized by WithDefaults, so cache keys built from Options
+	// stay machine-independent. Jobs <= 1 runs the sequential worklist
+	// engine (the degenerate pool), which is also the fallback the
+	// parallel pass re-runs on an order-sensitivity trip. Ignored by the
+	// sequential solvers.
+	Jobs int
 	// MaxRounds bounds the per-pass fixpoint iteration (default 1000).
-	// A pass that exhausts it stops with Result.Converged == false.
+	// A pass that exhausts it stops with Result.Converged == false. The
+	// parallel solver enforces it as a total-evaluation budget and falls
+	// back to the sequential engine when exceeded, reproducing the
+	// sequential solvers' non-convergence behavior exactly.
 	MaxRounds int
 }
 
@@ -48,6 +73,8 @@ type Options struct {
 // defaults. Analyze applies it internally; callers that key caches on
 // Options should apply it too, so that an explicit default (TagDepth 3)
 // and an implicit one (TagDepth 0) memoize as the same configuration.
+// Jobs is left as-is: its default (GOMAXPROCS) is machine-dependent and
+// does not affect results, so it must not leak into cache keys.
 func (o Options) WithDefaults() Options {
 	if o.MaxPasses == 0 {
 		o.MaxPasses = 8
@@ -99,8 +126,9 @@ func Analyze(prog *ir.Program, opts Options) *Result {
 }
 
 // AnalyzeContext is Analyze with cancellation: the solvers check the
-// context between contour evaluations (their innermost schedulable unit),
-// so a pathological contour blowup stops within one evaluation of the
+// context between contour evaluations (their innermost schedulable unit,
+// polled every cancelPollInterval evaluations), so a pathological contour
+// blowup stops within a few dozen microsecond-scale evaluations of the
 // deadline instead of running the pass to completion. A canceled analysis
 // returns a nil Result and an error wrapping ctx.Err(); a background
 // context makes the checks free (a nil Done channel is never polled).
@@ -117,6 +145,12 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 		arrSplit:   make(map[int]bool),
 		nInstrs:    make(map[*ir.Func]int),
 	}
+	// Materialize per-function state up front so the maps are read-only
+	// while a pass runs — the parallel workers read them without locks.
+	forEachFunc(prog, func(fn *ir.Func) {
+		a.policy(fn)
+		a.instrCount(fn)
+	})
 	for pass := 1; ; pass++ {
 		a.runPass()
 		if a.ctxErr != nil {
@@ -124,6 +158,19 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 		}
 		if pass >= a.opts.MaxPasses || !a.updatePolicies() {
 			return a.result(pass), nil
+		}
+	}
+}
+
+// forEachFunc visits every function of the program, top-level and
+// methods.
+func forEachFunc(prog *ir.Program, f func(*ir.Func)) {
+	for _, fn := range prog.Funcs {
+		f(fn)
+	}
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			f(m)
 		}
 	}
 }
@@ -137,17 +184,12 @@ type mcKey struct {
 }
 
 // allocKey identifies an object or array contour: the allocation site plus
-// the creating method contour's ID when the site is creator-split
-// (creator == -1 otherwise).
+// the creating method contour's in-pass ID when the site is creator-split
+// (creator == -1 otherwise). The in-pass ID is a per-run handle only; the
+// contour's durable identity is its intrinsic ctxHash.
 type allocKey struct {
 	site    int
 	creator int
-}
-
-// callSite keys the per-pass siteKey memo.
-type callSite struct {
-	mc    *MethodContour
-	instr int
 }
 
 type analyzer struct {
@@ -166,8 +208,11 @@ type analyzer struct {
 	policies   map[*ir.Func]*fnPolicy
 	classSplit map[*ir.Class]bool // split object contours by creator
 	arrSplit   map[int]bool       // split array contours by creator, by site UID
+	nInstrs    map[*ir.Func]int   // instruction counts (immutable IR), precomputed
 
-	// Per-pass state.
+	// Per-pass state. During a parallel pass (par != nil) the contour,
+	// edge, and tag tables are guarded by par.structMu and every VarState
+	// by par's stripe locks; sequential passes touch them directly.
 	tt       *tagTable
 	mcs      map[mcKey]*MethodContour
 	mcList   []*MethodContour
@@ -177,23 +222,22 @@ type analyzer struct {
 	acList   []*ArrContour
 	globals  []VarState
 	edges    map[edgeKey]*Edge
-	siteKeys map[callSite]string
 	changed  bool
 	overflow bool
 	nextMC   int
 	nextOC   int
 	nextAC   int
 
-	// Solver state (see solver.go).
-	cur         *MethodContour // contour being evaluated (dep registration)
-	curIdx      int            // its ID, or -1 outside an evaluation
-	curInstr    int            // flattened position of the instruction being evaluated
-	nInstrs     map[*ir.Func]int
-	dirtyCur    []bool         // by contour ID: scheduled for this round
-	dirtyNext   []bool         // by contour ID: scheduled for the next round
+	// Sequential solver state (see solver.go).
+	curIdx      int    // drain cursor (contour ID), or -1 outside a scan
+	dirtyCur    []bool // by contour ID: scheduled for this round
+	dirtyNext   []bool // by contour ID: scheduled for the next round
 	pendingNext int
 	converged   bool
 	work        WorkStats
+
+	// par is the parallel pass's shared scheduler state, nil otherwise.
+	par *parState
 }
 
 type edgeKey struct {
@@ -213,8 +257,44 @@ func (a *analyzer) policy(fn *ir.Func) *fnPolicy {
 
 func siteUID(fn *ir.Func, in *ir.Instr) int { return fn.ID*1_000_000 + in.ID }
 
+// Intrinsic identity hashing (FNV-1a chaining). Contour and tag keys are
+// derived from these hashes instead of creation-order IDs, so the key a
+// split produces — and therefore the partition itself — is independent of
+// the order a solver schedule happened to create contours in. See
+// canon.go for how final IDs are then assigned deterministically.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashSeed(kind byte) uint64 { return (fnvOffset64 ^ uint64(kind)) * fnvPrime64 }
+
+func hashU64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+func hashStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// hashKeyStr renders an identity hash as a compact key component.
+func hashKeyStr(h uint64) string { return strconv.FormatUint(h, 36) }
+
+func mcHash(fn *ir.Func, key string) uint64 {
+	return hashStr(hashU64(hashSeed(0), uint64(fn.ID)), key)
+}
+
 // instrCount returns (memoized; the IR is immutable) the number of
-// instructions in fn, which sizes per-contour dirty bitmaps.
+// instructions in fn, which sizes per-contour dirty bitmaps. Every
+// function is precomputed at analyzer construction, so pass-time calls
+// are read-only map hits.
 func (a *analyzer) instrCount(fn *ir.Func) int {
 	if n, ok := a.nInstrs[fn]; ok {
 		return n
@@ -227,6 +307,14 @@ func (a *analyzer) instrCount(fn *ir.Func) int {
 	return n
 }
 
+// parJobs resolves the parallel worker count.
+func (a *analyzer) parJobs() int {
+	if a.opts.Jobs > 0 {
+		return a.opts.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (a *analyzer) resetPass() {
 	a.tt = newTagTable(a.opts.TagDepth)
 	a.mcs = make(map[mcKey]*MethodContour)
@@ -237,35 +325,55 @@ func (a *analyzer) resetPass() {
 	a.acList = nil
 	a.globals = make([]VarState, len(a.prog.Globals))
 	a.edges = make(map[edgeKey]*Edge)
-	a.siteKeys = make(map[callSite]string)
 	a.overflow = false
 	a.nextMC, a.nextOC, a.nextAC = 0, 0, 0
-	a.cur, a.curIdx, a.curInstr = nil, -1, -1
+	a.curIdx = -1
 	a.dirtyCur, a.dirtyNext = nil, nil
 	a.pendingNext = 0
 	a.converged = true
+	a.par = nil
+}
+
+// seed creates the root contours every pass starts from.
+func (a *analyzer) seed(w *worker) {
+	if init := a.prog.FuncNamed(lower.InitFuncName); init != nil {
+		w.getMC(init, "")
+	}
+	if a.prog.Main != nil {
+		w.getMC(a.prog.Main, "")
+	}
 }
 
 // runPass analyzes the whole program to a fixpoint under the current
-// contour-selection policies.
+// contour-selection policies, then renumbers the pass's contours and tags
+// canonically (canon.go) so every solver — and every parallel schedule —
+// reports identical state.
 func (a *analyzer) runPass() {
 	a.resetPass()
-	if init := a.prog.FuncNamed(lower.InitFuncName); init != nil {
-		a.getMC(init, "")
-	}
-	if a.prog.Main != nil {
-		a.getMC(a.prog.Main, "")
-	}
-	if a.sweep {
-		a.runSweep()
+	if a.opts.Solver == SolverParallel && a.parJobs() > 1 {
+		a.runParallelPass()
 	} else {
-		a.runWorklist()
+		w := newWorker(a, nil)
+		a.seed(w)
+		if a.sweep {
+			a.runSweep(w)
+		} else {
+			a.runWorklist(w)
+		}
+		a.work.add(w.work)
+	}
+	if a.ctxErr == nil {
+		a.canonicalize()
 	}
 }
 
 // getMC returns (creating if needed) the contour of fn for the given
 // context key.
-func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
+func (w *worker) getMC(fn *ir.Func, key string) *MethodContour {
+	if w.p != nil {
+		return w.getMCPar(fn, key)
+	}
+	a := w.a
 	if len(a.mcList) >= a.opts.MaxContours {
 		a.overflow = true
 		key = "" // stop splitting; merge into the base contour
@@ -274,7 +382,7 @@ func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
 	if mc, ok := a.mcs[id]; ok {
 		return mc
 	}
-	mc := &MethodContour{ID: a.nextMC, Fn: fn, Key: key, Regs: make([]VarState, fn.NumRegs)}
+	mc := &MethodContour{ID: a.nextMC, Fn: fn, Key: key, Regs: make([]VarState, fn.NumRegs), ctxHash: mcHash(fn, key)}
 	a.nextMC++
 	a.mcs[id] = mc
 	a.mcList = append(a.mcList, mc)
@@ -289,9 +397,9 @@ func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
 		}
 		a.dirtyCur = append(a.dirtyCur, true)
 		a.dirtyNext = append(a.dirtyNext, false)
-		a.work.Enqueues++
+		w.work.Enqueues++
 		if len(a.mcList) == a.opts.MaxContours {
-			a.redirtyCallSites()
+			w.redirtyCallSites()
 		}
 	}
 	return mc
@@ -307,9 +415,11 @@ func (a *analyzer) getMC(fn *ir.Func, key string) *MethodContour {
 // changed, guaranteeing every site a post-transition visit. Re-dirtying
 // replays exactly those visits (ahead-of-cursor sites this round, the
 // rest next round, per enqueue's routing), keeping the two solvers
-// bit-identical through the overflow transition.
-func (a *analyzer) redirtyCallSites() {
-	for _, mc := range a.mcList {
+// bit-identical through the overflow transition. The parallel solver
+// never gets here: its getMCPar trips the pass to the sequential engine
+// at the same count threshold.
+func (w *worker) redirtyCallSites() {
+	for _, mc := range w.a.mcList {
 		sched := false
 		pos := 0
 		for _, b := range mc.Fn.Blocks {
@@ -320,7 +430,7 @@ func (a *analyzer) redirtyCallSites() {
 					// A site ahead of the in-progress scan of the contour
 					// currently evaluating is reached by this very visit;
 					// any other site needs its contour (re-)scheduled.
-					if mc != a.cur || pos <= a.curInstr {
+					if mc != w.cur || pos <= w.curInstr {
 						sched = true
 					}
 				}
@@ -328,87 +438,109 @@ func (a *analyzer) redirtyCallSites() {
 			}
 		}
 		if sched {
-			a.enqueue(mc)
+			w.enqueue(mc)
 		}
 	}
 }
 
-func (a *analyzer) getOC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ObjContour {
+func (w *worker) getOC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ObjContour {
+	a := w.a
 	creator := -1
+	key := ""
 	if a.classSplit[in.Class] {
 		creator = mc.ID
+		key = "c" + hashKeyStr(mc.ctxHash)
 	}
 	id := allocKey{siteUID(fn, in), creator}
+	if p := w.p; p != nil {
+		p.structMu.RLock()
+		oc := a.ocs[id]
+		p.structMu.RUnlock()
+		if oc != nil {
+			return oc
+		}
+		p.structMu.Lock()
+		defer p.structMu.Unlock()
+		if oc := a.ocs[id]; oc != nil {
+			return oc
+		}
+		return a.newOC(id, fn, in, key)
+	}
 	if oc, ok := a.ocs[id]; ok {
 		return oc
 	}
-	key := ""
-	if creator >= 0 {
-		key = "c" + strconv.Itoa(creator)
-	}
+	a.changed = true
+	return a.newOC(id, fn, in, key)
+}
+
+func (a *analyzer) newOC(id allocKey, fn *ir.Func, in *ir.Instr, key string) *ObjContour {
 	oc := &ObjContour{
 		ID: a.nextOC, Class: in.Class, Site: in, SiteFn: fn, Key: key,
-		Fields: make([]VarState, in.Class.NumSlots()),
+		Fields:  make([]VarState, in.Class.NumSlots()),
+		ctxHash: hashStr(hashU64(hashSeed(1), uint64(siteUID(fn, in))), key),
 	}
 	a.nextOC++
 	a.ocs[id] = oc
 	a.ocList = append(a.ocList, oc)
-	a.changed = true
 	return oc
 }
 
-func (a *analyzer) getAC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ArrContour {
+func (w *worker) getAC(fn *ir.Func, in *ir.Instr, mc *MethodContour) *ArrContour {
+	a := w.a
 	creator := -1
+	key := ""
 	if a.arrSplit[siteUID(fn, in)] {
 		creator = mc.ID
+		key = "c" + hashKeyStr(mc.ctxHash)
 	}
 	id := allocKey{siteUID(fn, in), creator}
+	if p := w.p; p != nil {
+		p.structMu.RLock()
+		ac := a.acs[id]
+		p.structMu.RUnlock()
+		if ac != nil {
+			return ac
+		}
+		p.structMu.Lock()
+		defer p.structMu.Unlock()
+		if ac := a.acs[id]; ac != nil {
+			return ac
+		}
+		return a.newAC(id, fn, in, key)
+	}
 	if ac, ok := a.acs[id]; ok {
 		return ac
 	}
-	key := ""
-	if creator >= 0 {
-		key = "c" + strconv.Itoa(creator)
+	a.changed = true
+	return a.newAC(id, fn, in, key)
+}
+
+func (a *analyzer) newAC(id allocKey, fn *ir.Func, in *ir.Instr, key string) *ArrContour {
+	ac := &ArrContour{
+		ID: a.nextAC, Site: in, SiteFn: fn, Key: key,
+		ctxHash: hashStr(hashU64(hashSeed(2), uint64(siteUID(fn, in))), key),
 	}
-	ac := &ArrContour{ID: a.nextAC, Site: in, SiteFn: fn, Key: key}
 	a.nextAC++
 	a.acs[id] = ac
 	a.acList = append(a.acList, ac)
-	a.changed = true
 	return ac
-}
-
-// merge wraps VarState.Merge with change tracking.
-func (a *analyzer) merge(dst, src *VarState) {
-	if dst.Merge(src) {
-		a.bump(dst)
-	}
-}
-
-func (a *analyzer) addPrim(dst *VarState, m PrimMask) {
-	if dst.TS.AddPrim(m) {
-		a.bump(dst)
-	}
-}
-
-func (a *analyzer) addTag(dst *VarState, t *Tag) {
-	if a.opts.Tags && dst.Tags.Add(t) {
-		a.bump(dst)
-	}
 }
 
 // siteKey builds the caller-context component of a callee contour key,
 // bounded in length so recursion terminates (deep chains hash-merge).
-// Keys are memoized per (caller contour, call site): they are recomputed
-// on every re-evaluation of a call instruction, and the inputs (the
-// caller's own key and the site) are immutable within a pass.
-func (a *analyzer) siteKey(caller *MethodContour, in *ir.Instr) string {
-	ck := callSite{caller, in.ID}
-	if k, ok := a.siteKeys[ck]; ok {
+// Keys are memoized per call site on the caller contour: they are
+// recomputed on every re-evaluation of a call instruction, the inputs
+// (the caller's own key and the site) are immutable within a pass, and
+// only the caller's evaluator touches the memo.
+func (w *worker) siteKey(caller *MethodContour, in *ir.Instr) string {
+	if k, ok := caller.siteKeyMemo[in.ID]; ok {
 		return k
 	}
 	k := computeSiteKey(caller.Fn.ID, caller.Key, in.ID)
-	a.siteKeys[ck] = k
+	if caller.siteKeyMemo == nil {
+		caller.siteKeyMemo = make(map[int]string)
+	}
+	caller.siteKeyMemo[in.ID] = k
 	return k
 }
 
@@ -433,15 +565,17 @@ func computeSiteKey(fnID int, callerKey string, instrID int) string {
 // re-runs whole (subsuming its partial slots), an instruction dirty only
 // in a data slot gets the matching partial re-merge, and a clean
 // instruction is skipped. Skipped work has unchanged inputs, so skipping
-// it is a no-op (see solver.go).
-func (a *analyzer) evalContour(mc *MethodContour) {
-	a.cur = mc
-	a.work.ContourEvals++
+// it is a no-op (see solver.go). The parallel solver's variant is
+// evalContourPar in parallel.go, which guards the dirty bitmap with the
+// contour's scheduling lock.
+func (w *worker) evalContour(mc *MethodContour) {
+	w.cur = mc
+	w.work.ContourEvals++
 	fn := mc.Fn
 	if mc.dirty == nil {
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
-				a.evalInstr(mc, fn, in)
+				w.evalInstr(mc, fn, in)
 			}
 		}
 	} else {
@@ -453,28 +587,28 @@ func (a *analyzer) evalContour(mc *MethodContour) {
 					mc.dirty[base] = false
 					mc.dirty[base+slotArgs] = false
 					mc.dirty[base+slotRet] = false
-					a.curInstr = pos
-					a.evalInstr(mc, fn, in)
+					w.curInstr = pos
+					w.evalInstr(mc, fn, in)
 				} else {
 					// Partial order mirrors the full evaluation: argument
 					// merges precede the return merge.
 					if mc.dirty[base+slotArgs] {
 						mc.dirty[base+slotArgs] = false
-						a.curInstr = pos
-						a.evalArgs(mc, in)
+						w.curInstr = pos
+						w.evalArgs(mc, in)
 					}
 					if mc.dirty[base+slotRet] {
 						mc.dirty[base+slotRet] = false
-						a.curInstr = pos
-						a.evalRet(mc, in)
+						w.curInstr = pos
+						w.evalRet(mc, in)
 					}
 				}
 				pos++
 			}
 		}
-		a.curInstr = -1
+		w.curInstr = -1
 	}
-	a.cur = nil
+	w.cur = nil
 }
 
 // evalArgs is the slotArgs partial evaluation: one of the instruction's
@@ -486,30 +620,26 @@ func (a *analyzer) evalContour(mc *MethodContour) {
 // on why order matters) — reproduces the full evaluation's effect on
 // those cells. Only instructions that register slotArgs readers get
 // here.
-func (a *analyzer) evalArgs(mc *MethodContour, in *ir.Instr) {
-	a.work.PartialEvals++
+func (w *worker) evalArgs(mc *MethodContour, in *ir.Instr) {
+	w.work.PartialEvals++
 	switch in.Op {
 	case ir.OpGetField:
 		base := mc.Reg(in.Args[0]) // registered slotFull by the full eval
 		dst := mc.Reg(in.Dst)
-		for _, oc := range base.TS.ObjList() {
+		for _, oc := range w.objList(base) {
 			fs := oc.FieldState(in.Field.Name)
 			if fs == nil {
 				continue
 			}
-			a.useArg(fs)
-			if dst.TS.Union(&fs.TS) {
-				a.bump(dst)
-			}
+			w.useArg(fs)
+			w.unionTS(dst, fs)
 		}
 	case ir.OpArrGet:
 		base := mc.Reg(in.Args[0])
 		dst := mc.Reg(in.Dst)
-		for _, ac := range base.TS.ArrList() {
-			a.useArg(&ac.Elem)
-			if dst.TS.Union(&ac.Elem.TS) {
-				a.bump(dst)
-			}
+		for _, ac := range w.arrList(base) {
+			w.useArg(&ac.Elem)
+			w.unionTS(dst, &ac.Elem)
 		}
 	case ir.OpCall, ir.OpCallStatic, ir.OpCallMethod:
 		// The self argument (when present) derives from the receiver — a
@@ -519,11 +649,11 @@ func (a *analyzer) evalArgs(mc *MethodContour, in *ir.Instr) {
 			start = 1
 		}
 		for _, cmc := range mc.calleeOrder[in.ID] {
-			e := a.edge(mc, in, cmc)
+			e := w.edge(mc, in, cmc)
 			for i := start; i < len(in.Args); i++ {
-				src := a.useArg(mc.Reg(in.Args[i]))
-				a.merge(cmc.Reg(cmc.Fn.ParamReg(i-start)), src)
-				e.Args[i].Merge(src)
+				src := w.useArg(mc.Reg(in.Args[i]))
+				w.merge(cmc.Reg(cmc.Fn.ParamReg(i-start)), src)
+				w.mergeEdgeArg(e, i, src)
 			}
 		}
 	}
@@ -535,145 +665,139 @@ func (a *analyzer) evalArgs(mc *MethodContour, in *ir.Instr) {
 // callees — and the order a full re-run would merge their returns in —
 // are exactly those calleeOrder recorded at the site's last full
 // evaluation.
-func (a *analyzer) evalRet(mc *MethodContour, in *ir.Instr) {
-	a.work.PartialEvals++
+func (w *worker) evalRet(mc *MethodContour, in *ir.Instr) {
+	w.work.PartialEvals++
 	if in.Dst == ir.NoReg {
 		return
 	}
 	dst := mc.Reg(in.Dst)
 	for _, cmc := range mc.calleeOrder[in.ID] {
-		a.merge(dst, a.useRet(&cmc.Ret))
+		w.noteSummaryRead(cmc)
+		w.merge(dst, w.useRet(&cmc.Ret))
 	}
 }
 
-func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
-	a.work.InstrEvals++
+func (w *worker) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
+	a := w.a
+	w.work.InstrEvals++
 	reg := func(r ir.Reg) *VarState { return mc.Reg(r) }
 	// use marks a register as an input of this instruction's evaluation
 	// before reading it (dependency registration; see solver.go).
-	use := func(r ir.Reg) *VarState { return a.use(mc.Reg(r)) }
+	use := func(r ir.Reg) *VarState { return w.use(mc.Reg(r)) }
 	switch in.Op {
 	case ir.OpConstInt:
-		a.addPrim(reg(in.Dst), PInt)
+		w.addPrim(reg(in.Dst), PInt)
 	case ir.OpConstFloat:
-		a.addPrim(reg(in.Dst), PFloat)
+		w.addPrim(reg(in.Dst), PFloat)
 	case ir.OpConstStr:
-		a.addPrim(reg(in.Dst), PStr)
+		w.addPrim(reg(in.Dst), PStr)
 	case ir.OpConstBool:
-		a.addPrim(reg(in.Dst), PBool)
+		w.addPrim(reg(in.Dst), PBool)
 	case ir.OpConstNil:
-		a.addPrim(reg(in.Dst), PNil)
+		w.addPrim(reg(in.Dst), PNil)
 	case ir.OpMove:
-		a.merge(reg(in.Dst), use(in.Args[0]))
+		w.merge(reg(in.Dst), use(in.Args[0]))
 	case ir.OpBin:
-		a.evalBin(mc, in)
+		w.evalBin(mc, in)
 	case ir.OpUn:
 		x := use(in.Args[0])
 		if ir.UnOp(in.Aux) == ir.UnNot {
-			a.addPrim(reg(in.Dst), PBool)
+			w.addPrim(reg(in.Dst), PBool)
 		} else {
-			a.addPrim(reg(in.Dst), x.TS.Prims&(PInt|PFloat))
+			w.addPrim(reg(in.Dst), w.prims(x)&(PInt|PFloat))
 		}
 	case ir.OpNewObject:
-		oc := a.getOC(fn, in, mc)
+		oc := w.getOC(fn, in, mc)
 		if mc.NewObjs == nil {
 			mc.NewObjs = make(map[int]*ObjContour)
 		}
 		mc.NewObjs[in.ID] = oc
 		dst := reg(in.Dst)
-		if dst.TS.AddObj(oc) {
-			a.bump(dst)
-		}
-		a.addTag(dst, a.tt.noField)
+		w.addObj(dst, oc)
+		w.addTag(dst, a.tt.noField)
 	case ir.OpNewArray:
-		ac := a.getAC(fn, in, mc)
+		ac := w.getAC(fn, in, mc)
 		if mc.NewArrs == nil {
 			mc.NewArrs = make(map[int]*ArrContour)
 		}
 		mc.NewArrs[in.ID] = ac
 		dst := reg(in.Dst)
-		if dst.TS.AddArr(ac) {
-			a.bump(dst)
-		}
-		a.addTag(dst, a.tt.noField)
+		w.addArr(dst, ac)
+		w.addTag(dst, a.tt.noField)
 	case ir.OpGetField:
 		base := use(in.Args[0])
 		dst := reg(in.Dst)
-		for _, oc := range base.TS.ObjList() {
+		for _, oc := range w.objList(base) {
 			fs := oc.FieldState(in.Field.Name)
 			if fs == nil {
 				continue
 			}
-			a.useArg(fs)
+			w.useArg(fs)
 			// Types flow through the field; the loaded value is tagged
 			// MakeTag(f, tag(o)) per §4.1. Content provenance is *not*
 			// unioned in: it stays recorded on the field state and is
 			// resolved on demand (Result.RepsOf), exactly as the paper's
 			// field-confluence partitions associate a content tag with
 			// each split object contour.
-			if dst.TS.Union(&fs.TS) {
-				a.bump(dst)
-			}
+			w.unionTS(dst, fs)
 			if a.opts.Tags {
-				for _, t := range base.Tags.List() {
-					a.addTag(dst, a.tt.makeObj(oc, in.Field.Name, t))
+				for _, t := range w.tagList(base) {
+					w.addTag(dst, a.tt.makeObj(oc, in.Field.Name, t))
 				}
 			}
 		}
 	case ir.OpSetField:
 		base := use(in.Args[0])
 		val := use(in.Args[1])
-		for _, oc := range base.TS.ObjList() {
+		for _, oc := range w.objList(base) {
 			fs := oc.FieldState(in.Field.Name)
 			if fs == nil {
 				continue
 			}
-			a.merge(fs, val)
+			w.merge(fs, val)
 		}
 	case ir.OpArrGet:
 		base := use(in.Args[0])
 		dst := reg(in.Dst)
-		for _, ac := range base.TS.ArrList() {
-			a.useArg(&ac.Elem)
-			if dst.TS.Union(&ac.Elem.TS) {
-				a.bump(dst)
-			}
+		for _, ac := range w.arrList(base) {
+			w.useArg(&ac.Elem)
+			w.unionTS(dst, &ac.Elem)
 			if a.opts.Tags {
-				for _, t := range base.Tags.List() {
-					a.addTag(dst, a.tt.makeArr(ac, t))
+				for _, t := range w.tagList(base) {
+					w.addTag(dst, a.tt.makeArr(ac, t))
 				}
 			}
 		}
 	case ir.OpArrSet:
 		base := use(in.Args[0])
 		val := use(in.Args[2])
-		for _, ac := range base.TS.ArrList() {
-			a.merge(&ac.Elem, val)
+		for _, ac := range w.arrList(base) {
+			w.merge(&ac.Elem, val)
 		}
 	case ir.OpCall:
 		if !a.sweep {
 			mc.resetCalleeOrder(in.ID)
 		}
-		a.bindTopLevel(mc, fn, in)
+		w.bindTopLevel(mc, fn, in)
 	case ir.OpCallStatic:
 		if !a.sweep {
 			mc.resetCalleeOrder(in.ID)
 		}
-		a.bindReceiverCall(mc, fn, in, in.Callee)
+		w.bindReceiverCall(mc, fn, in, in.Callee)
 	case ir.OpCallMethod:
 		if !a.sweep {
 			mc.resetCalleeOrder(in.ID)
 		}
-		a.bindReceiverCall(mc, fn, in, nil)
+		w.bindReceiverCall(mc, fn, in, nil)
 	case ir.OpGetGlobal:
-		a.merge(reg(in.Dst), a.use(&a.globals[in.Global]))
+		w.merge(reg(in.Dst), w.use(&a.globals[in.Global]))
 	case ir.OpSetGlobal:
-		a.merge(&a.globals[in.Global], use(in.Args[0]))
+		w.merge(&a.globals[in.Global], use(in.Args[0]))
 	case ir.OpBuiltin:
-		a.evalBuiltin(mc, in)
+		w.evalBuiltin(mc, in)
 	case ir.OpReturn:
 		if len(in.Args) > 0 {
-			a.merge(&mc.Ret, use(in.Args[0]))
+			w.merge(&mc.Ret, use(in.Args[0]))
 		}
 	case ir.OpJump, ir.OpBranch, ir.OpTrap:
 		// No value flow.
@@ -682,68 +806,73 @@ func (a *analyzer) evalInstr(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 	}
 }
 
-func (a *analyzer) evalBin(mc *MethodContour, in *ir.Instr) {
-	x, y := a.use(mc.Reg(in.Args[0])), a.use(mc.Reg(in.Args[1]))
+func (w *worker) evalBin(mc *MethodContour, in *ir.Instr) {
+	x, y := w.use(mc.Reg(in.Args[0])), w.use(mc.Reg(in.Args[1]))
 	dst := mc.Reg(in.Dst)
 	switch ir.BinOp(in.Aux) {
 	case ir.BinEq, ir.BinNe, ir.BinLt, ir.BinLe, ir.BinGt, ir.BinGe:
-		a.addPrim(dst, PBool)
+		w.addPrim(dst, PBool)
 	default:
+		xp, yp := w.prims(x), w.prims(y)
 		var m PrimMask
-		if x.TS.Prims&PInt != 0 && y.TS.Prims&PInt != 0 {
+		if xp&PInt != 0 && yp&PInt != 0 {
 			m |= PInt
 		}
-		if (x.TS.Prims|y.TS.Prims)&PFloat != 0 {
+		if (xp|yp)&PFloat != 0 {
 			m |= PFloat
 		}
-		if x.TS.Prims&PStr != 0 && y.TS.Prims&PStr != 0 && ir.BinOp(in.Aux) == ir.BinAdd {
+		if xp&PStr != 0 && yp&PStr != 0 && ir.BinOp(in.Aux) == ir.BinAdd {
 			m |= PStr
 		}
-		a.addPrim(dst, m)
+		w.addPrim(dst, m)
 	}
 }
 
-func (a *analyzer) evalBuiltin(mc *MethodContour, in *ir.Instr) {
+func (w *worker) evalBuiltin(mc *MethodContour, in *ir.Instr) {
 	dst := mc.Reg(in.Dst)
 	switch ir.Builtin(in.Aux) {
 	case ir.BPrint, ir.BAssert:
-		a.addPrim(dst, PNil)
+		w.addPrim(dst, PNil)
 	case ir.BSqrt, ir.BFloor, ir.BFloatOf:
-		a.addPrim(dst, PFloat)
+		w.addPrim(dst, PFloat)
 	case ir.BLen, ir.BIntOf, ir.BXor:
-		a.addPrim(dst, PInt)
+		w.addPrim(dst, PInt)
 	case ir.BStrCat:
-		a.addPrim(dst, PStr)
+		w.addPrim(dst, PStr)
 	case ir.BAbs:
-		a.addPrim(dst, a.use(mc.Reg(in.Args[0])).TS.Prims&(PInt|PFloat))
+		w.addPrim(dst, w.prims(w.use(mc.Reg(in.Args[0])))&(PInt|PFloat))
 	case ir.BMin, ir.BMax:
-		m := (a.use(mc.Reg(in.Args[0])).TS.Prims | a.use(mc.Reg(in.Args[1])).TS.Prims) & (PInt | PFloat)
-		a.addPrim(dst, m)
+		m := (w.prims(w.use(mc.Reg(in.Args[0]))) | w.prims(w.use(mc.Reg(in.Args[1])))) & (PInt | PFloat)
+		w.addPrim(dst, m)
 	}
 }
 
 // bindTopLevel handles calls to top-level functions.
-func (a *analyzer) bindTopLevel(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
+func (w *worker) bindTopLevel(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
+	a := w.a
 	callee := in.Callee
 	key := ""
-	if a.policy(callee).splitBySite {
-		key = a.siteKey(mc, in)
+	if a.policies[callee].splitBySite {
+		key = w.siteKey(mc, in)
 	}
-	cmc := a.getMC(callee, key)
+	cmc := w.getMC(callee, key)
 	if mc.addCallee(in.ID, cmc) {
-		a.changed = true
+		if w.p == nil {
+			a.changed = true
+		}
 	}
 	if !a.sweep {
 		mc.noteCallee(in.ID, cmc)
 	}
-	e := a.edge(mc, in, cmc)
+	e := w.edge(mc, in, cmc)
 	for i, r := range in.Args {
-		src := a.useArg(mc.Reg(r))
-		a.merge(cmc.Reg(callee.ParamReg(i)), src)
-		e.Args[i].Merge(src)
+		src := w.useArg(mc.Reg(r))
+		w.merge(cmc.Reg(callee.ParamReg(i)), src)
+		w.mergeEdgeArg(e, i, src)
 	}
 	if in.Dst != ir.NoReg {
-		a.merge(mc.Reg(in.Dst), a.useRet(&cmc.Ret))
+		w.noteSummaryRead(cmc)
+		w.merge(mc.Reg(in.Dst), w.useRet(&cmc.Ret))
 	}
 }
 
@@ -752,9 +881,10 @@ func (a *analyzer) bindTopLevel(mc *MethodContour, fn *ir.Func, in *ir.Instr) {
 // calls (fixed != nil). Receiver-based contour selection restricts the
 // callee's self state to the enumerated (object contour, tag) pair, which
 // is what makes the selection monotone within a pass.
-func (a *analyzer) bindReceiverCall(mc *MethodContour, fn *ir.Func, in *ir.Instr, fixed *ir.Func) {
-	recv := a.use(mc.Reg(in.Args[0]))
-	for _, oc := range recv.TS.ObjList() {
+func (w *worker) bindReceiverCall(mc *MethodContour, fn *ir.Func, in *ir.Instr, fixed *ir.Func) {
+	a := w.a
+	recv := w.use(mc.Reg(in.Args[0]))
+	for _, oc := range w.objList(recv) {
 		target := fixed
 		if target == nil {
 			target = oc.Class.LookupMethod(in.Method)
@@ -766,61 +896,88 @@ func (a *analyzer) bindReceiverCall(mc *MethodContour, fn *ir.Func, in *ir.Instr
 		if target.NumParams != len(in.Args)-1 {
 			continue // runtime arity error path
 		}
-		pol := a.policy(target)
+		pol := a.policies[target]
 		baseKey := ""
 		if pol.splitBySite {
-			baseKey = a.siteKey(mc, in)
+			baseKey = w.siteKey(mc, in)
 		}
 		if pol.splitByRecvOC {
-			baseKey += "|o" + strconv.Itoa(oc.ID)
+			baseKey += "|o" + hashKeyStr(oc.ctxHash)
 		}
-		if pol.splitByRecvTag && a.opts.Tags && recv.Tags.Len() > 0 {
-			for _, t := range recv.Tags.List() {
-				key := baseKey + "|t" + strconv.Itoa(t.ID)
+		if pol.splitByRecvTag && a.opts.Tags && w.tagsLen(recv) > 0 {
+			for _, t := range w.tagList(recv) {
+				key := baseKey + "|t" + hashKeyStr(t.uid)
 				self := VarState{}
 				self.TS.AddObj(oc)
 				self.Tags.Add(t)
-				a.bindMethod(mc, in, target, key, &self)
+				w.bindMethod(mc, in, target, key, &self)
 			}
 			continue
 		}
 		self := VarState{}
 		self.TS.AddObj(oc)
-		for _, t := range recv.Tags.List() {
+		for _, t := range w.tagList(recv) {
 			self.Tags.Add(t)
 		}
-		a.bindMethod(mc, in, target, baseKey, &self)
+		w.bindMethod(mc, in, target, baseKey, &self)
 	}
 }
 
-func (a *analyzer) bindMethod(mc *MethodContour, in *ir.Instr, target *ir.Func, key string, self *VarState) {
-	cmc := a.getMC(target, key)
+func (w *worker) bindMethod(mc *MethodContour, in *ir.Instr, target *ir.Func, key string, self *VarState) {
+	a := w.a
+	cmc := w.getMC(target, key)
 	if mc.addCallee(in.ID, cmc) {
-		a.changed = true
+		if w.p == nil {
+			a.changed = true
+		}
 	}
 	if !a.sweep {
 		mc.noteCallee(in.ID, cmc)
 	}
-	e := a.edge(mc, in, cmc)
-	a.merge(cmc.Reg(0), self)
-	e.Args[0].Merge(self)
+	e := w.edge(mc, in, cmc)
+	w.mergeLocal(cmc.Reg(0), self)
+	w.mergeEdgeArgLocal(e, 0, self)
 	for i := 1; i < len(in.Args); i++ {
-		src := a.useArg(mc.Reg(in.Args[i]))
-		a.merge(cmc.Reg(target.ParamReg(i-1)), src)
-		e.Args[i].Merge(src)
+		src := w.useArg(mc.Reg(in.Args[i]))
+		w.merge(cmc.Reg(target.ParamReg(i-1)), src)
+		w.mergeEdgeArg(e, i, src)
 	}
 	if in.Dst != ir.NoReg {
-		a.merge(mc.Reg(in.Dst), a.useRet(&cmc.Ret))
+		w.noteSummaryRead(cmc)
+		w.merge(mc.Reg(in.Dst), w.useRet(&cmc.Ret))
 	}
 }
 
-func (a *analyzer) edge(from *MethodContour, in *ir.Instr, to *MethodContour) *Edge {
+func (w *worker) edge(from *MethodContour, in *ir.Instr, to *MethodContour) *Edge {
+	a := w.a
 	k := edgeKey{from: from, instr: in.ID, to: to}
+	if p := w.p; p != nil {
+		p.structMu.RLock()
+		e := a.edges[k]
+		p.structMu.RUnlock()
+		if e != nil {
+			return e
+		}
+		p.structMu.Lock()
+		if e := a.edges[k]; e != nil {
+			p.structMu.Unlock()
+			return e
+		}
+		e = newEdge(a, k, in, to)
+		p.structMu.Unlock()
+		// A new call edge refines the call graph; feed the SCC
+		// condensation that schedules downstream work.
+		p.recordEdge(int32(from.ID), int32(to.ID))
+		return e
+	}
 	if e, ok := a.edges[k]; ok {
 		return e
 	}
-	n := len(in.Args)
-	e := &Edge{From: from, Instr: in, To: to, Args: make([]VarState, n)}
+	return newEdge(a, k, in, to)
+}
+
+func newEdge(a *analyzer, k edgeKey, in *ir.Instr, to *MethodContour) *Edge {
+	e := &Edge{From: k.from, Instr: in, To: to, Args: make([]VarState, len(in.Args))}
 	a.edges[k] = e
 	to.InEdges = append(to.InEdges, e)
 	return e

@@ -1,0 +1,158 @@
+package analysis_test
+
+// Tests of the parallel solver's guarantees beyond the differentials in
+// solver_test.go: schedule determinism (repeated runs at several worker
+// counts serialize identically), the SCC condensation's topological-
+// partition property, the scheduling counters, and the budget fallback.
+
+import (
+	"fmt"
+	"testing"
+
+	"objinline/internal/analysis"
+	"objinline/internal/bench"
+)
+
+// parOpts returns parallel-solver options at the given worker count.
+func parOpts(tags bool, jobs int) analysis.Options {
+	return analysis.Options{Tags: tags, Solver: analysis.SolverParallel, Jobs: jobs}
+}
+
+// TestParallelDeterminism runs the parallel solver 20 times at jobs 1, 2,
+// and 8 and requires every serialized Result to be byte-identical to the
+// worklist's — the concurrency-protocol regression net: any lost update,
+// schedule-dependent merge, or unstable renumbering shows up as a diff.
+func TestParallelDeterminism(t *testing.T) {
+	p, err := bench.ByName("richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.Analyze(compile(t, src),
+		analysis.Options{Tags: true, Solver: analysis.SolverWorklist}).String()
+	for i := 0; i < 20; i++ {
+		for _, jobs := range []int{1, 2, 8} {
+			got := analysis.Analyze(compile(t, src), parOpts(true, jobs)).String()
+			if got != want {
+				t.Fatalf("run %d, jobs=%d: parallel dump diverged from worklist", i, jobs)
+			}
+		}
+	}
+}
+
+// TestCondensationIsTopologicalPartition checks the exported SCC
+// condensation is a valid topological partition of the contour call
+// graph: components partition the contours, and every call edge either
+// stays inside its component or crosses forward (caller component before
+// callee component). This is the property the parallel scheduler's
+// rank-ordering relies on.
+func TestCondensationIsTopologicalPartition(t *testing.T) {
+	for _, p := range bench.Programs {
+		t.Run(p.Name, func(t *testing.T) {
+			src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := analysis.Analyze(compile(t, src), parOpts(true, 2))
+			c := res.CondenseCallGraph()
+			if len(c.Comp) != len(res.Mcs) {
+				t.Fatalf("Comp covers %d contours, want %d", len(c.Comp), len(res.Mcs))
+			}
+			total := 0
+			for comp, size := range c.Sizes {
+				if size <= 0 {
+					t.Errorf("component %d has size %d; components must be non-empty", comp, size)
+				}
+				total += size
+			}
+			if total != len(res.Mcs) {
+				t.Fatalf("component sizes sum to %d, want %d (not a partition)", total, len(res.Mcs))
+			}
+			edges := 0
+			for _, mc := range res.Mcs {
+				if c.Comp[mc.ID] < 0 || c.Comp[mc.ID] >= c.NComp {
+					t.Fatalf("contour %d assigned out-of-range component %d", mc.ID, c.Comp[mc.ID])
+				}
+				for _, set := range mc.Callees {
+					for cmc := range set {
+						edges++
+						if c.Comp[mc.ID] > c.Comp[cmc.ID] {
+							t.Errorf("edge %s -> %s goes backward: component %d -> %d",
+								mc, cmc, c.Comp[mc.ID], c.Comp[cmc.ID])
+						}
+					}
+				}
+			}
+			if edges == 0 {
+				t.Fatalf("no call edges in %s; the property was tested vacuously", p.Name)
+			}
+		})
+	}
+}
+
+// TestParallelCounters checks the scheduling counters are populated when
+// the pool actually engages (jobs > 1, no trip) and absent for the
+// sequential engines.
+func TestParallelCounters(t *testing.T) {
+	p, err := bench.ByName("richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := p.Source(bench.VariantAuto, bench.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Analyze(compile(t, src), parOpts(false, 2))
+	if res.Work.SCCs == 0 {
+		t.Errorf("parallel run recorded no SCCs")
+	}
+	if res.Work.MaxSCCSize < 1 {
+		t.Errorf("MaxSCCSize = %d, want >= 1", res.Work.MaxSCCSize)
+	}
+	if res.Work.ParallelRounds < 1 {
+		t.Errorf("ParallelRounds = %d, want >= 1 (final condensation)", res.Work.ParallelRounds)
+	}
+	if res.Work.SCCs > len(res.Mcs) {
+		t.Errorf("SCCs = %d exceeds contour count %d", res.Work.SCCs, len(res.Mcs))
+	}
+
+	seq := analysis.Analyze(compile(t, src),
+		analysis.Options{Solver: analysis.SolverWorklist})
+	if seq.Work.SCCs != 0 || seq.Work.ParallelRounds != 0 || seq.Work.SummaryHits != 0 {
+		t.Errorf("sequential run has parallel counters: %+v", seq.Work)
+	}
+
+	// Summaries are materializable regardless of solver, one per contour.
+	sums := res.Summaries()
+	if len(sums) != len(res.Mcs) {
+		t.Fatalf("Summaries() returned %d entries, want %d", len(sums), len(res.Mcs))
+	}
+	for _, s := range sums {
+		if s.Contour == nil || s.Ret == nil {
+			t.Fatalf("summary missing contour or ret: %+v", s)
+		}
+	}
+}
+
+// TestParallelUnconverged checks the evaluation-budget trip reproduces
+// the sequential engines' non-convergence behavior: MaxRounds=1 on a
+// multi-round call chain reports Converged=false with the same dump.
+func TestParallelUnconverged(t *testing.T) {
+	for _, jobs := range []int{2, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			opts := analysis.Options{Tags: true, Solver: analysis.SolverParallel, Jobs: jobs, MaxRounds: 1}
+			res := analysis.Analyze(compile(t, chainSrc), opts)
+			if res.Converged {
+				t.Fatalf("MaxRounds=1 on a call chain reported Converged=true")
+			}
+			seq := analysis.Analyze(compile(t, chainSrc),
+				analysis.Options{Tags: true, Solver: analysis.SolverWorklist, MaxRounds: 1})
+			if got, want := res.String(), seq.String(); got != want {
+				t.Errorf("budget-tripped parallel dump differs from worklist at MaxRounds=1")
+			}
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+// Strongly-connected-component condensation of the contour call graph.
+// The parallel solver (parallel.go) condenses the evolving graph to rank
+// contours — callers before callees, so that by the time a caller's
+// worker reads a callee's return cell the callee has usually quiesced and
+// the read is a summary hit rather than a future re-mark. The same
+// routine backs the exported Result.CondenseCallGraph.
+
+// tarjanSCC computes the strongly connected components of the directed
+// graph on vertices [0, n) with adjacency lists adj (duplicate edges
+// allowed). It returns a vertex→component mapping and the component
+// count. Components are numbered in *reverse* topological order — Tarjan
+// finishes a component only after every component it reaches — so callers
+// have higher numbers than their callees. Iterative (explicit stacks): a
+// deep monomorphic call chain yields a path graph as long as the contour
+// list, which would overflow the goroutine stack recursively.
+func tarjanSCC(n int, adj [][]int32) (comp []int32, ncomp int) {
+	comp = make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int32
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var frames []frame
+	next := int32(0)
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		frames = append(frames[:0], frame{v: int32(root)})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < len(adj[v]) {
+				u := adj[v][f.ei]
+				f.ei++
+				if index[u] == -1 {
+					index[u] = next
+					low[u] = next
+					next++
+					stack = append(stack, u)
+					onStack[u] = true
+					frames = append(frames, frame{v: u})
+				} else if onStack[u] && index[u] < low[v] {
+					low[v] = index[u]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				pf := &frames[len(frames)-1]
+				if low[v] < low[pf.v] {
+					low[pf.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					u := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[u] = false
+					comp[u] = int32(ncomp)
+					if u == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// CallGraphSCC is the condensation of a Result's contour call graph into
+// strongly connected components, numbered topologically: every call edge
+// either stays inside its component or goes from a lower-numbered
+// component to a higher-numbered one (callers first). This is the
+// partition the parallel solver schedules by; it is exported so tests can
+// assert the partition property and so downstream tools can reason about
+// recursion groups.
+type CallGraphSCC struct {
+	// Comp maps contour ID → component number.
+	Comp []int
+	// NComp is the number of components.
+	NComp int
+	// Sizes is the contour count of each component.
+	Sizes []int
+}
+
+// CondenseCallGraph condenses the result's contour call graph (the union
+// of every contour's Callees bindings) into SCCs.
+func (r *Result) CondenseCallGraph() *CallGraphSCC {
+	n := len(r.Mcs)
+	adj := make([][]int32, n)
+	for _, mc := range r.Mcs {
+		for _, set := range mc.Callees {
+			for cmc := range set {
+				adj[mc.ID] = append(adj[mc.ID], int32(cmc.ID))
+			}
+		}
+	}
+	comp32, ncomp := tarjanSCC(n, adj)
+	c := &CallGraphSCC{Comp: make([]int, n), NComp: ncomp, Sizes: make([]int, ncomp)}
+	for i, k := range comp32 {
+		topo := ncomp - 1 - int(k) // flip reverse-topological to topological
+		c.Comp[i] = topo
+		c.Sizes[topo]++
+	}
+	return c
+}
+
+// MethodSummary is one contour's interface state at the analysis
+// fixpoint: the per-parameter states merged across every in-edge (self
+// included for methods, at index 0) plus the merged return state. This is
+// exactly the boundary at which the parallel solver composes with a
+// quiescent callee instead of re-entering its fixpoint (WorkStats.
+// SummaryHits counts those compositions); materialized after the fact it
+// doubles as a compact per-contour signature for tests and tooling.
+type MethodSummary struct {
+	Contour *MethodContour
+	// Args[i] merges what every call edge transmitted for callee
+	// register i. Empty when the contour has no in-edges (roots).
+	Args []VarState
+	// Ret is the contour's merged return cell.
+	Ret *VarState
+}
+
+// Summaries returns every contour's summary, in contour-ID order. In-edge
+// merge order is the canonical edge order, so the result is deterministic
+// across solvers and schedules.
+func (r *Result) Summaries() []MethodSummary {
+	out := make([]MethodSummary, 0, len(r.Mcs))
+	for _, mc := range r.Mcs {
+		s := MethodSummary{Contour: mc, Ret: &mc.Ret}
+		for _, e := range mc.InEdges {
+			for i := range e.Args {
+				for len(s.Args) <= i {
+					s.Args = append(s.Args, VarState{})
+				}
+				s.Args[i].Merge(&e.Args[i])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"objinline/internal/ir"
 )
@@ -27,6 +28,14 @@ type Tag struct {
 	Field string      // field name; "[]" for array elements
 	Base  *Tag        // origin of the holder; nil for NoField/Top
 	Depth int
+
+	// uid is the tag's intrinsic identity hash, chained from the holder
+	// contour's identity hash, the field name, and the base tag's uid. It
+	// never depends on creation order, so contour keys derived from it
+	// (the "|t" component in bindReceiverCall) are identical under any
+	// evaluation schedule; canonicalize() renumbers IDs from it at the end
+	// of every pass.
+	uid uint64
 }
 
 // Sentinel tag IDs.
@@ -134,6 +143,10 @@ type tagTable struct {
 	byKey   map[tagKey]*Tag
 	next    int
 	maxDep  int
+
+	// mu guards byKey and next during a parallel pass (nil for the
+	// sequential solvers, where interning is single-threaded).
+	mu *sync.RWMutex
 }
 
 type tagKey struct {
@@ -143,10 +156,17 @@ type tagKey struct {
 	base  *Tag
 }
 
+// Sentinel intrinsic identity hashes (Tag.uid); real tags chain theirs
+// from contour hashes, which never collide with these small constants.
+const (
+	tagNoFieldUID = 1
+	tagTopUID     = 2
+)
+
 func newTagTable(maxDepth int) *tagTable {
 	tt := &tagTable{
-		noField: &Tag{ID: tagNoFieldID},
-		top:     &Tag{ID: tagTopID},
+		noField: &Tag{ID: tagNoFieldID, uid: tagNoFieldUID},
+		top:     &Tag{ID: tagTopID, uid: tagTopUID},
 		byKey:   make(map[tagKey]*Tag),
 		next:    2,
 		maxDep:  maxDepth,
@@ -182,10 +202,39 @@ func (tt *tagTable) make(k tagKey) *Tag {
 		k.base = tt.top
 		depth = tt.maxDep
 	}
+	if tt.mu != nil {
+		tt.mu.RLock()
+		t, ok := tt.byKey[k]
+		tt.mu.RUnlock()
+		if ok {
+			return t
+		}
+		tt.mu.Lock()
+		defer tt.mu.Unlock()
+		if t, ok := tt.byKey[k]; ok {
+			return t
+		}
+		return tt.insert(k, depth)
+	}
 	if t, ok := tt.byKey[k]; ok {
 		return t
 	}
-	t := &Tag{ID: tt.next, OC: k.oc, AC: k.ac, Field: k.field, Base: k.base, Depth: depth}
+	return tt.insert(k, depth)
+}
+
+func (tt *tagTable) insert(k tagKey, depth int) *Tag {
+	holder := uint64(0)
+	if k.oc != nil {
+		holder = k.oc.ctxHash
+	} else if k.ac != nil {
+		holder = k.ac.ctxHash
+	}
+	baseUID := uint64(0)
+	if k.base != nil {
+		baseUID = k.base.uid
+	}
+	uid := hashU64(hashStr(hashU64(hashSeed(3), holder), k.field), baseUID)
+	t := &Tag{ID: tt.next, OC: k.oc, AC: k.ac, Field: k.field, Base: k.base, Depth: depth, uid: uid}
 	tt.next++
 	tt.byKey[k] = t
 	return t
@@ -223,7 +272,7 @@ func (s *TagSet) Add(t *Tag) bool {
 
 // topOf returns the Top sentinel reachable from any tag's table; since
 // sentinels are per-table we reconstruct via a shared instance.
-var sharedTop = &Tag{ID: tagTopID}
+var sharedTop = &Tag{ID: tagTopID, uid: tagTopUID}
 
 func topOf(t *Tag) *Tag {
 	if t.IsTop() {

@@ -333,6 +333,11 @@ func TestDifferentialFuzz(t *testing.T) {
 				// against "inline" below).
 				{"inline-sweep", pipeline.Config{Mode: pipeline.ModeInline,
 					Analysis: analysis.Options{Solver: analysis.SolverSweep}}},
+				// The parallel worker-pool solver at an oversubscribed worker
+				// count: must execute identically AND analyze identically to
+				// the worklist (checked against "inline" below).
+				{"inline-par-solver", pipeline.Config{Mode: pipeline.ModeInline,
+					Analysis: analysis.Options{Solver: analysis.SolverParallel, Jobs: 4}}},
 			}
 			outputs := map[string]string{}
 			compiled := map[string]*pipeline.Compiled{}
@@ -351,6 +356,9 @@ func TestDifferentialFuzz(t *testing.T) {
 			if dw, ds := compiled["inline"].Analysis.String(), compiled["inline-sweep"].Analysis.String(); dw != ds {
 				t.Errorf("worklist and sweep analyses differ\nprogram:\n%s\nworklist:\n%s\nsweep:\n%s", src, dw, ds)
 			}
+			if dw, dp := compiled["inline"].Analysis.String(), compiled["inline-par-solver"].Analysis.String(); dw != dp {
+				t.Errorf("worklist and parallel analyses differ\nprogram:\n%s\nworklist:\n%s\nparallel:\n%s", src, dw, dp)
+			}
 			// The MaxContours-overflow regime, where getMC coerces split
 			// keys to base contours (the worklist must globally re-dirty
 			// call sites at the transition; see analysis.redirtyCallSites).
@@ -367,6 +375,17 @@ func TestDifferentialFuzz(t *testing.T) {
 				analysis.Options{Tags: true, MaxContours: 17, Solver: analysis.SolverSweep})
 			if dw, ds := ovW.String(), ovS.String(); dw != ds {
 				t.Errorf("worklist and sweep analyses differ under contour overflow\nprogram:\n%s\nworklist:\n%s\nsweep:\n%s", src, dw, ds)
+			}
+			// The parallel solver's overflow trip (count-triggered fallback to
+			// the sequential worklist) must land on the same dump.
+			ovPProg, err := pipeline.Compile("fuzz.icc", src, pipeline.Config{Mode: pipeline.ModeDirect})
+			if err != nil {
+				t.Fatalf("overflow compile: %v", err)
+			}
+			ovP := analysis.Analyze(ovPProg.Source,
+				analysis.Options{Tags: true, MaxContours: 17, Solver: analysis.SolverParallel, Jobs: 4})
+			if dw, dp := ovW.String(), ovP.String(); dw != dp {
+				t.Errorf("worklist and parallel analyses differ under contour overflow\nprogram:\n%s\nworklist:\n%s\nparallel:\n%s", src, dw, dp)
 			}
 			for _, c := range configs[1:] {
 				if outputs[c.name] != outputs["direct"] {

@@ -42,6 +42,15 @@ type Config struct {
 	// MaxOutputBytes caps the program output a run response carries
 	// (default 256 KiB); beyond it the envelope sets output_truncated.
 	MaxOutputBytes int
+	// AnalysisJobs bounds one request's parallel-solver worker count
+	// (default GOMAXPROCS). A request holds a single admission-pool token
+	// however many analysis workers it runs, so this cap is what keeps a
+	// parallel-solver request from multiplying the pool's concurrency:
+	// effective CPU concurrency is at most PoolSize × AnalysisJobs.
+	// Requested jobs values above the cap (or 0, meaning "as many as
+	// allowed") clamp to it. Clamping never changes results — the solvers
+	// are byte-identical at any worker count.
+	AnalysisJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = 256 << 10
+	}
+	if c.AnalysisJobs <= 0 {
+		c.AnalysisJobs = runtime.GOMAXPROCS(0)
 	}
 	return c
 }

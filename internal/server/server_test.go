@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"objinline"
 	"objinline/internal/server/api"
 )
 
@@ -575,5 +576,55 @@ func TestGracefulShutdownDrain(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestParallelSolverJobsClamp checks the per-request analysis-parallelism
+// bound: a parallel-solver request succeeds whatever jobs value it names,
+// the server clamps oversized (and zero) values to AnalysisJobs, and —
+// because worker count never changes results — every jobs value maps to
+// the same cache key, so a clamped request warms the cache for all of
+// them.
+func TestParallelSolverJobsClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{AnalysisJobs: 2})
+	src := fixtureSource(t)
+	req := func(jobs int) api.CompileRequest {
+		return api.CompileRequest{
+			Filename: "explain.icc",
+			Source:   src,
+			Config:   api.Config{Solver: objinline.SolverParallel, Jobs: jobs},
+		}
+	}
+	var keys []string
+	var bodies [][]byte
+	for i, jobs := range []int{0, 64, 1, 2} {
+		resp, body := postJSON(t, ts, "/v1/compile", req(jobs))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("jobs=%d: status %d: %s", jobs, resp.StatusCode, body)
+		}
+		keys = append(keys, resp.Header.Get("X-Oicd-Cache-Key"))
+		bodies = append(bodies, body)
+		wantCache := "hit"
+		if i == 0 {
+			wantCache = "miss"
+		}
+		if c := resp.Header.Get("X-Oicd-Cache"); c != wantCache {
+			t.Errorf("jobs=%d: cache %q, want %q (jobs must not fragment the cache)", jobs, c, wantCache)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Errorf("cache keys differ across jobs values: %q vs %q", keys[0], keys[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("response bodies differ across jobs values")
+		}
+	}
+
+	// The solver itself is part of the key (its work counters are
+	// observable in stats), so worklist and parallel must not share.
+	wl, _ := postJSON(t, ts, "/v1/compile", api.CompileRequest{Filename: "explain.icc", Source: src})
+	if k := wl.Header.Get("X-Oicd-Cache-Key"); k == keys[0] {
+		t.Errorf("worklist and parallel requests share cache key %q", k)
 	}
 }

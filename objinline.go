@@ -94,6 +94,10 @@ const (
 	// SolverSweep is the naive global re-sweep, kept as the reference
 	// implementation; it computes identical results.
 	SolverSweep = analysis.SolverSweep
+	// SolverParallel solves the analysis on a bounded worker pool
+	// (Config.Jobs), scheduling contours by the SCC condensation of the
+	// call graph. Byte-identical results at any worker count.
+	SolverParallel = analysis.SolverParallel
 )
 
 // Config configures compilation.
@@ -108,8 +112,13 @@ type Config struct {
 	// MaxPasses bounds the analysis's iterative refinement (default 8).
 	MaxPasses int
 	// Solver selects the analysis fixpoint engine: SolverWorklist
-	// (default) or SolverSweep.
+	// (default), SolverSweep, or SolverParallel.
 	Solver string
+	// Jobs bounds the parallel solver's worker pool (0 = GOMAXPROCS;
+	// ignored by the sequential solvers). Jobs never changes compilation
+	// output — the parallel solver is byte-identical at any worker count —
+	// so it is deliberately not part of Fingerprint.
+	Jobs int
 }
 
 // Fingerprint returns a stable, versioned, canonical encoding of the
@@ -215,6 +224,7 @@ func CompileContext(ctx context.Context, filename, src string, cfg Config, opts 
 			TagDepth:  cfg.TagDepth,
 			MaxPasses: cfg.MaxPasses,
 			Solver:    cfg.Solver,
+			Jobs:      cfg.Jobs,
 		},
 		Trace: settings.trace,
 	})
@@ -561,6 +571,12 @@ type AnalysisStats struct {
 		InstrEvals   int `json:"instr_evals"`
 		PartialEvals int `json:"partial_evals"`
 		Enqueues     int `json:"enqueues"`
+		// Parallel-solver scheduling counters; zero (and omitted from
+		// JSON) for the sequential engines.
+		SCCs           int `json:"sccs,omitempty"`
+		MaxSCCSize     int `json:"max_scc_size,omitempty"`
+		ParallelRounds int `json:"parallel_rounds,omitempty"`
+		SummaryHits    int `json:"summary_hits,omitempty"`
 	} `json:"work"`
 }
 
@@ -602,6 +618,10 @@ func (p *Program) CompileStats() CompileStats {
 		as.Work.InstrEvals = st.Work.InstrEvals
 		as.Work.PartialEvals = st.Work.PartialEvals
 		as.Work.Enqueues = st.Work.Enqueues
+		as.Work.SCCs = st.Work.SCCs
+		as.Work.MaxSCCSize = st.Work.MaxSCCSize
+		as.Work.ParallelRounds = st.Work.ParallelRounds
+		as.Work.SummaryHits = st.Work.SummaryHits
 		cs.Analysis = as
 	}
 	return cs
