@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet check-json bench bench-analysis bench-serve payoff figs serve
+.PHONY: check build test race vet check-json bench bench-analysis bench-incremental bench-serve payoff figs serve
 
 check: build vet race check-json
 
@@ -39,6 +39,13 @@ bench-analysis:
 	$(GO) test ./internal/bench -run '^$$' -bench BenchmarkAnalyze -benchtime 3x
 	$(GO) run ./cmd/objbench -fig analysis -json > BENCH_analysis.json
 	$(GO) run ./cmd/objbench -fig analysis
+
+# Incremental recompilation: cold pipeline vs a session absorbing payload
+# edits (docs/SERVER.md, DESIGN.md §12), with byte-identity checked before
+# any timing is reported. Saved as BENCH_incremental.json plus the table.
+bench-incremental:
+	$(GO) run ./cmd/objbench -fig incremental -json > BENCH_incremental.json
+	$(GO) run ./cmd/objbench -fig incremental
 
 # Per-field payoff attribution: profiled inlining-on vs inlining-off runs
 # joined against the optimizer's decision (docs/OBSERVABILITY.md), saved

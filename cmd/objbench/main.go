@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|serve|payoff|all] [-scale small|medium|default]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|serve|payoff|incremental|all] [-scale small|medium|default]
 //	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
 //
 // The extra "analysis" figure benchmarks the analysis phase itself
@@ -117,6 +117,18 @@ var figures = []figure{
 		explicitOnly: true,
 	},
 	{
+		// The incremental-recompilation benchmark: cold pipeline vs a
+		// session absorbing payload edits, with byte-identity checked
+		// before any timing is reported. Wall-clock, so explicit-only
+		// (`make bench-incremental` emits BENCH_incremental.json).
+		name: "incremental",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) {
+			return e.IncrementalBench(s)
+		},
+		print:        func(w io.Writer, rows any) { bench.PrintIncremental(w, rows.([]bench.IncrementalRow)) },
+		explicitOnly: true,
+	},
+	{
 		// Explicit-only not for timing reasons but because the profiled
 		// runs live in their own cache: folding them into -fig all would
 		// double every benchmark execution for figures that don't need
@@ -129,7 +141,7 @@ var figures = []figure{
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, serve, payoff, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, serve, payoff, incremental, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
 	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

@@ -231,13 +231,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "compiled %s: %d instructions\n", file, prog.CodeSize())
 	}
 
-	if *doTrace || *traceOut != "" {
+	// The envelope always carries the compile stats under -json: the
+	// analysis work counters (solver effort) are recorded unconditionally,
+	// and phase timings join them when -trace is on.
+	if *asJSON {
 		st := prog.CompileStats()
-		if *asJSON {
-			env.Stats = &st
-		} else if *doTrace {
-			trace.WriteTable(stderr, st.Phases)
-		}
+		env.Stats = &st
+	} else if *doTrace {
+		st := prog.CompileStats()
+		trace.WriteTable(stderr, st.Phases)
 	}
 
 	if *asJSON {

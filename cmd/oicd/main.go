@@ -41,6 +41,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	maxDeadline := fs.Duration("max-deadline", 0, "cap on requested deadlines (0 = 60s)")
 	maxSource := fs.Int("max-source-bytes", 0, "largest accepted source, in bytes (0 = 1 MiB)")
 	analysisJobs := fs.Int("analysis-jobs", 0, "per-request parallel-solver worker cap (0 = GOMAXPROCS)")
+	sessionEntries := fs.Int("session-entries", 0, "live incremental-session LRU bound (0 = 64)")
+	sessionTTL := fs.Duration("session-ttl", 0, "idle incremental sessions expire after this long (0 = 15m)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,6 +63,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		MaxDeadline:     *maxDeadline,
 		MaxSourceBytes:  *maxSource,
 		AnalysisJobs:    *analysisJobs,
+		SessionEntries:  *sessionEntries,
+		SessionTTL:      *sessionTTL,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -90,8 +94,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	if err := hs.Shutdown(sctx); err != nil {
 		fmt.Fprintf(stderr, "oicd: drain incomplete: %v\n", err)
 		hs.Close()
+		srv.Close()
 		return 1
 	}
+	// Drained: release the pinned incremental sessions before exiting.
+	srv.Close()
 	fmt.Fprintln(stdout, "oicd: bye")
 	return 0
 }

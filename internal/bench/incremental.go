@@ -1,0 +1,203 @@
+package bench
+
+// The incremental-recompilation benchmark: how much faster an editing
+// session absorbs single-constant edits than cold compilation. For each
+// benchmark program it measures the cold pipeline (parse → check → lower
+// → analyze → optimize) and then a pipeline.Session fed a scripted loop
+// of payload edits — the tier the session API exists for — reporting
+// p50/p95 for both, the speedup, the solver work each edit performed
+// (zero instruction evaluations on the patch tier), and the tier counts.
+// Every timed warm result is also checked byte-identical to a cold
+// compile of the same source before its timing is trusted. `objbench
+// -fig incremental` prints the table; `make bench-incremental` emits it
+// as BENCH_incremental.json.
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"time"
+
+	"objinline/internal/pipeline"
+)
+
+// IncrementalRow is one program's cold-vs-warm comparison.
+type IncrementalRow struct {
+	Program string
+	Scale   string
+	// Edits is the number of timed warm patches.
+	Edits int
+	// ColdP50/P95 time the full cold pipeline; WarmP50/P95 time a
+	// session absorbing one payload edit.
+	ColdP50Ns int64
+	ColdP95Ns int64
+	WarmP50Ns int64
+	WarmP95Ns int64
+	// Speedup is ColdP50 / WarmP50.
+	Speedup float64
+	// ColdInstrEvals is the analysis work of one cold compile;
+	// WarmInstrEvals sums the analysis work across all warm edits (0
+	// when every edit hit the patch tier).
+	ColdInstrEvals int
+	WarmInstrEvals int
+	// Tiers counts the warm patches by the tier that absorbed them.
+	Tiers map[string]int
+}
+
+// incrementalEdits is the number of scripted edits per program: enough
+// for stable percentiles, small enough to keep the figure interactive.
+const incrementalEdits = 40
+
+var incrementalLiteral = regexp.MustCompile(`\b\d+\b`)
+
+// incrementalEditScript derives a deterministic cycle of payload edits
+// from src: same-width rewrites of its integer literals, one literal per
+// edit, round-robin. Every edit is a single-function change (a literal
+// lives in exactly one function body) at unchanged source positions —
+// the edit class an editing session sees on almost every keystroke.
+func incrementalEditScript(src string, n int) []string {
+	locs := incrementalLiteral.FindAllStringIndex(src, -1)
+	if len(locs) == 0 {
+		return nil
+	}
+	edits := make([]string, 0, n)
+	for i := 0; len(edits) < n; i++ {
+		loc := locs[i%len(locs)]
+		old := src[loc[0]:loc[1]]
+		digits := []byte(old)
+		// Rotate the last digit, avoiding both a no-op and a width change
+		// (no leading zero for single-digit literals).
+		d := (int(digits[len(digits)-1]-'0') + 1 + i%8) % 10
+		if len(digits) == 1 && d == 0 {
+			d = 1
+		}
+		if byte('0'+d) == digits[len(digits)-1] {
+			continue
+		}
+		digits[len(digits)-1] = byte('0' + d)
+		edits = append(edits, src[:loc[0]]+string(digits)+src[loc[1]:])
+	}
+	return edits
+}
+
+// incrementalFingerprint renders the compile artifacts the differential
+// contract pins (the run itself is covered by the pipeline fuzz tests;
+// re-executing every benchmark program here would swamp the figure).
+func incrementalFingerprint(c *pipeline.Compiled) string {
+	fp := c.Prog.String()
+	if c.Analysis != nil {
+		fp += "\n" + c.Analysis.String()
+	}
+	if c.Optimize != nil && c.Optimize.Decision != nil {
+		for _, k := range c.Optimize.Decision.InlinedKeys() {
+			fp += "\ninlined " + k.String()
+		}
+	}
+	return fp
+}
+
+func nsPercentile(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i].Nanoseconds()
+}
+
+// IncrementalBench measures every benchmark program at scale s.
+func (e *Engine) IncrementalBench(s Scale) ([]IncrementalRow, error) {
+	rows := make([]IncrementalRow, 0, len(Programs))
+	for _, p := range Programs {
+		row, err := measureIncremental(p, s)
+		if err != nil {
+			return nil, fmt.Errorf("incremental %s: %w", p.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureIncremental(p Program, s Scale) (IncrementalRow, error) {
+	src, err := p.Source(VariantAuto, s)
+	if err != nil {
+		return IncrementalRow{}, err
+	}
+	cfg := pipeline.Config{Mode: pipeline.ModeInline}
+	row := IncrementalRow{Program: p.Name, Scale: s.String(), Tiers: map[string]int{}}
+
+	// Cold baseline: time the full pipeline a handful of times.
+	const coldIters = 7
+	cold := make([]time.Duration, 0, coldIters)
+	var coldCompiled *pipeline.Compiled
+	for i := 0; i < coldIters; i++ {
+		start := time.Now()
+		c, err := pipeline.Compile(p.Name+".icc", src, cfg)
+		if err != nil {
+			return row, err
+		}
+		cold = append(cold, time.Since(start))
+		coldCompiled = c
+	}
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	row.ColdP50Ns = nsPercentile(cold, 0.50)
+	row.ColdP95Ns = nsPercentile(cold, 0.95)
+	if coldCompiled.Analysis != nil {
+		row.ColdInstrEvals = coldCompiled.Analysis.Stats().Work.InstrEvals
+	}
+
+	edits := incrementalEditScript(src, incrementalEdits)
+	if len(edits) == 0 {
+		return row, fmt.Errorf("no integer literals to edit")
+	}
+	sess, _, err := pipeline.NewSession(p.Name+".icc", src, cfg)
+	if err != nil {
+		return row, err
+	}
+	warm := make([]time.Duration, 0, len(edits))
+	for i, edited := range edits {
+		start := time.Now()
+		c, st, err := sess.Patch(edited)
+		d := time.Since(start)
+		if err != nil {
+			return row, fmt.Errorf("edit %d: %w", i, err)
+		}
+		warm = append(warm, d)
+		row.Tiers[st.Tier]++
+		row.WarmInstrEvals += st.AnalysisInstrEvals
+		// Byte-identity gate on the first few edits: a fast number that
+		// diverged from the cold compiler would be worthless.
+		if i < 3 {
+			coldC, err := pipeline.Compile(p.Name+".icc", edited, cfg)
+			if err != nil {
+				return row, fmt.Errorf("edit %d cold: %w", i, err)
+			}
+			if incrementalFingerprint(c) != incrementalFingerprint(coldC) {
+				return row, fmt.Errorf("edit %d: warm result diverged from cold compile", i)
+			}
+		}
+	}
+	row.Edits = len(warm)
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+	row.WarmP50Ns = nsPercentile(warm, 0.50)
+	row.WarmP95Ns = nsPercentile(warm, 0.95)
+	if row.WarmP50Ns > 0 {
+		row.Speedup = float64(row.ColdP50Ns) / float64(row.WarmP50Ns)
+	}
+	return row, nil
+}
+
+// PrintIncremental renders the incremental benchmark table.
+func PrintIncremental(w io.Writer, rows []IncrementalRow) {
+	fmt.Fprintln(w, "Incremental recompilation: cold pipeline vs session payload edits")
+	fmt.Fprintf(w, "  %-14s %-8s %10s %10s %10s %10s %8s %12s %12s  %s\n",
+		"program", "scale", "cold p50", "cold p95", "warm p50", "warm p95",
+		"speedup", "cold evals", "warm evals", "tiers")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %-8s %10s %10s %10s %10s %7.1fx %12d %12d  %v\n",
+			r.Program, r.Scale,
+			time.Duration(r.ColdP50Ns), time.Duration(r.ColdP95Ns),
+			time.Duration(r.WarmP50Ns), time.Duration(r.WarmP95Ns),
+			r.Speedup, r.ColdInstrEvals, r.WarmInstrEvals, r.Tiers)
+	}
+}

@@ -298,6 +298,15 @@ type Instr struct {
 	Else   int // OpBranch: block id when false
 
 	Pos source.Pos
+
+	// Origin is the source-program instruction this one was (transitively)
+	// cloned from, recorded by Clone for incremental recompilation: when a
+	// payload-only edit updates the source instructions in place, the
+	// optimized output is refreshed by re-copying constant payloads from
+	// each instruction's origin (Program.RefreshConstPayloads) instead of
+	// re-running the optimizer. Nil for instructions the optimizer
+	// synthesized from whole cloth. Never printed, verified, or compared.
+	Origin *Instr
 }
 
 // IsTerminator reports whether the instruction ends a basic block.
@@ -320,11 +329,49 @@ func (in *Instr) IsCall() bool {
 }
 
 // Clone returns a deep copy of the instruction (Args are copied; payload
-// pointers are shared until a rewrite retargets them).
+// pointers are shared until a rewrite retargets them). The clone's Origin
+// chain collapses to the root instruction, so clones of clones still point
+// at the original.
 func (in *Instr) Clone() *Instr {
 	cp := *in
 	cp.Args = append([]Reg(nil), in.Args...)
+	if cp.Origin == nil {
+		cp.Origin = in
+	}
 	return &cp
+}
+
+// RefreshConstPayloads re-copies the constant payload fields (Aux of
+// OpConstInt/OpConstBool, F, S, B) from each instruction's Origin, for
+// instructions whose origin still has the same opcode. It is the
+// incremental patch tier's output fix-up: after a payload-only source
+// edit updates the analyzed program's instructions in place, the
+// already-optimized output program — whose shape, analysis, and decisions
+// provably cannot depend on those values — is brought current by
+// forwarding the new constants through the clone provenance. Instructions
+// the optimizer synthesized (nil Origin) or retyped (opcode mismatch,
+// e.g. OpNewArray→OpNewArrayInl, whose Aux became a layout flag) keep
+// their payloads.
+func (p *Program) RefreshConstPayloads() {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				o := in.Origin
+				if o == nil || o.Op != in.Op {
+					continue
+				}
+				switch in.Op {
+				case OpConstInt, OpConstBool:
+					in.Aux = o.Aux
+				case OpConstFloat:
+					in.F = o.F
+				case OpConstStr, OpTrap:
+					in.S = o.S
+				}
+				in.B = o.B
+			}
+		}
+	}
 }
 
 // Program is a complete IR program.

@@ -1,0 +1,268 @@
+package ast
+
+import (
+	"math"
+
+	"objinline/internal/lang/source"
+)
+
+// Content hashing for incremental recompilation: HashFuncDecl digests one
+// function or method declaration — structure, names, literal values, and
+// every node's source position — into a 64-bit FNV-1a fingerprint. Two
+// declarations hash equally exactly when lowering them (against identical
+// name tables) produces identical IR, positions included, so an edit
+// session can skip re-lowering any function whose hash is unchanged.
+//
+// Positions are part of the digest on purpose: diagnostics, site keys in
+// reports, and the profiler all render instruction positions, so a
+// function whose text merely *moved* (an edit above it added a line) must
+// count as changed. Its re-lowered body then differs from the prior IR
+// only in Pos fields, which the incremental lowerer patches in place — see
+// internal/lower's shape comparison.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+type hasher struct{ h uint64 }
+
+func newHasher() *hasher { return &hasher{h: fnvOffset64} }
+
+func (s *hasher) byte(b byte) {
+	s.h = (s.h ^ uint64(b)) * fnvPrime64
+}
+
+func (s *hasher) u64(x uint64) {
+	for i := 0; i < 8; i++ {
+		s.byte(byte(x))
+		x >>= 8
+	}
+}
+
+func (s *hasher) int(x int) { s.u64(uint64(int64(x))) }
+func (s *hasher) str(x string) {
+	s.int(len(x))
+	for i := 0; i < len(x); i++ {
+		s.byte(x[i])
+	}
+}
+
+func (s *hasher) pos(p source.Pos) {
+	s.int(p.Line)
+	s.int(p.Col)
+}
+
+// Node kind tags. The walker writes one before each node so that
+// differently-shaped trees cannot collide by concatenation.
+const (
+	tagNil byte = iota
+	tagBlock
+	tagVar
+	tagAssign
+	tagExprStmt
+	tagIf
+	tagWhile
+	tagFor
+	tagReturn
+	tagBreak
+	tagContinue
+	tagIntLit
+	tagFloatLit
+	tagStringLit
+	tagBoolLit
+	tagNilLit
+	tagSelf
+	tagIdent
+	tagBinary
+	tagUnary
+	tagCall
+	tagMethodCall
+	tagField
+	tagIndex
+	tagNew
+	tagNewArray
+	tagFunc
+	tagParam
+)
+
+// HashFuncDecl fingerprints one function or method declaration (body,
+// parameters, name, and positions). See the package comment above for the
+// equality contract.
+func HashFuncDecl(d *FuncDecl) uint64 {
+	s := newHasher()
+	s.byte(tagFunc)
+	s.str(d.Name)
+	s.pos(d.NamePos)
+	s.int(len(d.Params))
+	for _, p := range d.Params {
+		s.byte(tagParam)
+		s.str(p.Name)
+		s.pos(p.NamePos)
+	}
+	s.stmt(d.Body)
+	return s.h
+}
+
+// HashGlobalInits fingerprints the global declarations' initializer
+// expressions in order — the content of the synthetic $init function the
+// lowerer builds from them.
+func HashGlobalInits(globals []*VarStmt) uint64 {
+	s := newHasher()
+	s.int(len(globals))
+	for _, g := range globals {
+		s.byte(tagVar)
+		s.str(g.Name)
+		s.pos(g.VarPos)
+		s.expr(g.Init)
+	}
+	return s.h
+}
+
+func (s *hasher) stmt(st Stmt) {
+	switch st := st.(type) {
+	case nil:
+		s.byte(tagNil)
+	case *BlockStmt:
+		s.byte(tagBlock)
+		s.pos(st.LBrace)
+		s.int(len(st.Stmts))
+		for _, sub := range st.Stmts {
+			s.stmt(sub)
+		}
+	case *VarStmt:
+		s.byte(tagVar)
+		s.str(st.Name)
+		s.pos(st.VarPos)
+		s.expr(st.Init)
+	case *AssignStmt:
+		s.byte(tagAssign)
+		s.expr(st.Target)
+		s.expr(st.Value)
+	case *ExprStmt:
+		s.byte(tagExprStmt)
+		s.expr(st.X)
+	case *IfStmt:
+		s.byte(tagIf)
+		s.pos(st.IfPos)
+		s.expr(st.Cond)
+		s.stmt(st.Then)
+		s.stmt(st.Else)
+	case *WhileStmt:
+		s.byte(tagWhile)
+		s.pos(st.WhilePos)
+		s.expr(st.Cond)
+		s.stmt(st.Body)
+	case *ForStmt:
+		s.byte(tagFor)
+		s.pos(st.ForPos)
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		s.stmt(st.Post)
+		s.stmt(st.Body)
+	case *ReturnStmt:
+		s.byte(tagReturn)
+		s.pos(st.RetPos)
+		s.expr(st.Value)
+	case *BreakStmt:
+		s.byte(tagBreak)
+		s.pos(st.KwPos)
+	case *ContinueStmt:
+		s.byte(tagContinue)
+		s.pos(st.KwPos)
+	}
+}
+
+func (s *hasher) expr(e Expr) {
+	switch e := e.(type) {
+	case nil:
+		s.byte(tagNil)
+	case *IntLit:
+		s.byte(tagIntLit)
+		s.pos(e.LitPos)
+		s.u64(uint64(e.Value))
+	case *FloatLit:
+		s.byte(tagFloatLit)
+		s.pos(e.LitPos)
+		s.str(floatBits(e.Value))
+	case *StringLit:
+		s.byte(tagStringLit)
+		s.pos(e.LitPos)
+		s.str(e.Value)
+	case *BoolLit:
+		s.byte(tagBoolLit)
+		s.pos(e.LitPos)
+		if e.Value {
+			s.byte(1)
+		} else {
+			s.byte(0)
+		}
+	case *NilLit:
+		s.byte(tagNilLit)
+		s.pos(e.LitPos)
+	case *SelfExpr:
+		s.byte(tagSelf)
+		s.pos(e.LitPos)
+	case *Ident:
+		s.byte(tagIdent)
+		s.str(e.Name)
+		s.pos(e.NamePos)
+	case *BinaryExpr:
+		s.byte(tagBinary)
+		s.int(int(e.Op))
+		s.expr(e.X)
+		s.expr(e.Y)
+	case *UnaryExpr:
+		s.byte(tagUnary)
+		s.pos(e.OpPos)
+		s.int(int(e.Op))
+		s.expr(e.X)
+	case *CallExpr:
+		s.byte(tagCall)
+		s.str(e.Name)
+		s.pos(e.NamePos)
+		s.int(len(e.Args))
+		for _, a := range e.Args {
+			s.expr(a)
+		}
+	case *MethodCallExpr:
+		s.byte(tagMethodCall)
+		s.str(e.Method)
+		s.expr(e.Recv)
+		s.int(len(e.Args))
+		for _, a := range e.Args {
+			s.expr(a)
+		}
+	case *FieldExpr:
+		s.byte(tagField)
+		s.str(e.Name)
+		s.expr(e.Recv)
+	case *IndexExpr:
+		s.byte(tagIndex)
+		s.expr(e.Arr)
+		s.expr(e.Index)
+	case *NewExpr:
+		s.byte(tagNew)
+		s.pos(e.NewPos)
+		s.str(e.Class)
+		s.int(len(e.Args))
+		for _, a := range e.Args {
+			s.expr(a)
+		}
+	case *NewArrayExpr:
+		s.byte(tagNewArray)
+		s.pos(e.NewPos)
+		s.expr(e.Len)
+	}
+}
+
+// floatBits renders a float deterministically for hashing (the raw IEEE
+// bits as 8 bytes, avoiding any formatting ambiguity).
+func floatBits(f float64) string {
+	var b [8]byte
+	u := math.Float64bits(f)
+	for i := range b {
+		b[i] = byte(u >> (8 * i))
+	}
+	return string(b[:])
+}

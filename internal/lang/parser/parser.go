@@ -89,6 +89,11 @@ func (p *parser) parseProgram(file string) *ast.Program {
 			}
 		default:
 			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			// Consume the offending token before resynchronizing: sync()
+			// stops *at* declaration keywords, so a stray `def` (or any
+			// other non-declaration token sync treats as a boundary) at top
+			// level would otherwise never be consumed and loop forever.
+			p.next()
 			p.sync()
 		}
 	}

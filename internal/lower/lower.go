@@ -24,6 +24,15 @@ const InitFuncName = "$init"
 // Lower converts a checked program into IR. The returned program has been
 // verified.
 func Lower(info *sem.Info) (*ir.Program, error) {
+	prog, _, err := lowerProgram(info)
+	return prog, err
+}
+
+// lowerProgram is Lower exposing the lowerer itself, whose name tables
+// (classes, functions, globals, field anchors) an incremental Snapshot
+// retains so that later edits can re-lower single functions against the
+// same identities.
+func lowerProgram(info *sem.Info) (*ir.Program, *lowerer, error) {
 	var errs source.ErrorList
 	l := &lowerer{
 		info:    info,
@@ -106,12 +115,12 @@ func Lower(info *sem.Info) (*ir.Program, error) {
 	l.prog.Main = l.funcs["main"]
 
 	if err := errs.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := l.prog.Verify(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return l.prog, nil
+	return l.prog, l, nil
 }
 
 func hasGlobalInits(globals []*ast.VarStmt) bool {
@@ -148,6 +157,12 @@ func (l *lowerer) lowerGlobalInit(globals []*ast.VarStmt) {
 	fn := &ir.Func{Name: InitFuncName}
 	l.prog.AddFunc(fn)
 	l.funcs[InitFuncName] = fn
+	l.lowerGlobalInitInto(fn, globals)
+}
+
+// lowerGlobalInitInto lowers the global initializers into fn's body; the
+// incremental path reuses it to rebuild $init in place after an edit.
+func (l *lowerer) lowerGlobalInitInto(fn *ir.Func, globals []*ast.VarStmt) {
 	fb := &funcBuilder{l: l, fn: fn}
 	fb.pushScope()
 	fb.cur = fb.newBlock()

@@ -9,6 +9,8 @@ package pipeline_test
 import (
 	"fmt"
 	"math/rand"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -392,6 +394,156 @@ func TestDifferentialFuzz(t *testing.T) {
 					t.Errorf("%s differs from direct\nprogram:\n%s\ndirect:\n%s\n%s:\n%s",
 						c.name, src, outputs["direct"], c.name, outputs[c.name])
 				}
+			}
+		})
+	}
+}
+
+// fuzzFingerprint renders everything the incremental differential
+// contract pins: the optimized program (positions and payloads included),
+// the analysis dump, the decision lists, and the run output.
+func fuzzFingerprint(t *testing.T, c *pipeline.Compiled) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(c.Prog.String())
+	b.WriteString("\n--analysis--\n")
+	if c.Analysis != nil {
+		b.WriteString(c.Analysis.String())
+	}
+	if c.Optimize != nil && c.Optimize.Decision != nil {
+		b.WriteString("\n--decisions--\n")
+		for _, k := range c.Optimize.Decision.InlinedKeys() {
+			fmt.Fprintf(&b, "inlined %s\n", k)
+		}
+		var rejected []string
+		for k := range c.Optimize.Decision.Rejected {
+			rejected = append(rejected, k.String())
+		}
+		sort.Strings(rejected)
+		for _, r := range rejected {
+			fmt.Fprintf(&b, "rejected %s\n", r)
+		}
+	}
+	b.WriteString("\n--run--\n")
+	// A mutated constant can make the program trap (an array size shrunk
+	// under a fixed loop bound, say); the trap and the output prefix are
+	// then themselves part of the differential contract.
+	var out strings.Builder
+	if _, err := c.Run(pipeline.RunOptions{Out: &out, MaxSteps: 5_000_000}); err != nil {
+		fmt.Fprintf(&b, "runtime error: %v\n", err)
+	}
+	b.WriteString(out.String())
+	return b.String()
+}
+
+var intLiteral = regexp.MustCompile(`\b\d+\b`)
+
+// mutate derives one edited source from src. The returned wantTier is
+// the tier the session must absorb it at ("" = don't assert: the edit
+// may be a no-op or land on several tiers legitimately).
+func mutate(r *rand.Rand, src string, step int) (edited, wantTier string) {
+	switch r.Intn(4) {
+	case 0: // payload: same-width rewrite of one integer literal
+		locs := intLiteral.FindAllStringIndex(src, -1)
+		if len(locs) == 0 {
+			return src, ""
+		}
+		loc := locs[r.Intn(len(locs))]
+		old := src[loc[0]:loc[1]]
+		digits := []byte(old)
+		digits[len(digits)-1] = byte('0' + r.Intn(10))
+		if string(digits) == old {
+			return src, "" // may hash identical → reuse
+		}
+		return src[:loc[0]] + string(digits) + src[loc[1]:], pipeline.TierPatch
+	case 1: // position shift: a comment line above everything
+		return fmt.Sprintf("// edit %d\n%s", step, src), pipeline.TierReopt
+	case 2: // shape: a new statement in main (emitted last, so the text's
+		// final "}" closes it)
+		i := strings.LastIndex(src, "}")
+		if i < 0 {
+			return src, ""
+		}
+		return src[:i] + fmt.Sprintf("  print(%d);\n", 4000+step) + src[i:], pipeline.TierSolve
+	default: // structural: a new top-level function
+		return src + fmt.Sprintf("func fz%d(x) { return x + %d; }\n", step, step), pipeline.TierCold
+	}
+}
+
+// TestIncrementalEditFuzz is the incremental differential: random edit
+// sequences over generated programs, where after every patch the
+// session's result must be byte-identical — optimized IR, analysis dump,
+// decisions, and run output — to a cold compile of the same source. The
+// configs sweep all three solvers (parallel at 1 and 4 workers) plus the
+// contour-overflow regime, where cold compilation itself may
+// deterministically fail; then the session must fail identically and
+// keep serving.
+func TestIncrementalEditFuzz(t *testing.T) {
+	configs := []struct {
+		name    string
+		cfg     pipeline.Config
+		mayFail bool // starved MaxContours: inline transform may not converge
+	}{
+		{"worklist", pipeline.Config{Mode: pipeline.ModeInline}, false},
+		{"sweep", pipeline.Config{Mode: pipeline.ModeInline,
+			Analysis: analysis.Options{Solver: analysis.SolverSweep}}, false},
+		{"par-1", pipeline.Config{Mode: pipeline.ModeInline,
+			Analysis: analysis.Options{Solver: analysis.SolverParallel, Jobs: 1}}, false},
+		{"par-4", pipeline.Config{Mode: pipeline.ModeInline,
+			Analysis: analysis.Options{Solver: analysis.SolverParallel, Jobs: 4}}, false},
+		{"starved", pipeline.Config{Mode: pipeline.ModeInline,
+			Analysis: analysis.Options{MaxContours: 17}}, true},
+	}
+	const numSeeds = 24
+	const numEdits = 6
+	for seed := 0; seed < numSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			g := &progGen{r: rand.New(rand.NewSource(int64(1000 + seed)))}
+			base := g.generate()
+			for _, c := range configs {
+				c := c
+				t.Run(c.name, func(t *testing.T) {
+					sess, _, err := pipeline.NewSession("fuzz.icc", base, c.cfg)
+					if err != nil {
+						if c.mayFail {
+							t.Skipf("base does not converge when starved: %v", err)
+						}
+						t.Fatalf("new session: %v\nprogram:\n%s", err, base)
+					}
+					r := rand.New(rand.NewSource(int64(9000 + seed)))
+					src := base
+					// failed tracks a rejected patch: the session marks itself
+					// stale and the next accepted edit rebuilds cold, so tier
+					// expectations pause until then.
+					failed := false
+					for step := 0; step < numEdits; step++ {
+						next, wantTier := mutate(r, src, step)
+						src = next
+						warm, st, err := sess.Patch(src)
+						cold, coldErr := pipeline.Compile("fuzz.icc", src, c.cfg)
+						if err != nil || coldErr != nil {
+							if !c.mayFail {
+								t.Fatalf("step %d: patch err=%v cold err=%v\nprogram:\n%s", step, err, coldErr, src)
+							}
+							// Determinism: the session must fail exactly when and
+							// how the cold compile fails.
+							if fmt.Sprint(err) != fmt.Sprint(coldErr) {
+								t.Fatalf("step %d: patch err %q != cold err %q\nprogram:\n%s", step, err, coldErr, src)
+							}
+							failed = true
+							continue
+						}
+						if wantTier != "" && !failed && st.Tier != wantTier {
+							t.Errorf("step %d: tier = %q, want %q (stats %+v)", step, st.Tier, wantTier, st)
+						}
+						failed = false
+						if w, cf := fuzzFingerprint(t, warm), fuzzFingerprint(t, cold); w != cf {
+							t.Fatalf("step %d (%s): session diverged from cold compile\nprogram:\n%s\n--- warm ---\n%s\n--- cold ---\n%s",
+								step, st.Tier, src, w, cf)
+						}
+					}
+				})
 			}
 		})
 	}

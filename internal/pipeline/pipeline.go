@@ -115,45 +115,36 @@ func CompileContext(ctx context.Context, file, src string, cfg Config) (*Compile
 	}
 	sp.Counter("instrs", int64(prog.CodeSize()))
 	sp.End()
+	return compileLowered(ctx, prog, nil, cfg)
+}
+
+// compileLowered runs every phase after lowering: contour analysis (unless
+// prior is supplied — the incremental patch tier passes a still-valid prior
+// Result), then optimize → funcinline → peephole. It is the shared back
+// half of CompileContext and Session recompiles; the input program is
+// treated as read-only (the optimizer materializes a fresh output program),
+// which is what lets a Session retain it across edits.
+func compileLowered(ctx context.Context, prog *ir.Program, prior *analysis.Result, cfg Config) (*Compiled, error) {
+	tr := cfg.Trace
 	c := &Compiled{Source: prog, Prog: prog, Mode: cfg.Mode, Trace: tr}
 	if cfg.Mode == ModeDirect {
 		return c, nil
 	}
 
-	aopts := cfg.Analysis
-	aopts.Tags = cfg.Mode == ModeInline
-	sp = tr.Start(trace.PhaseAnalysis)
-	res, err := analysis.AnalyzeContext(ctx, prog, aopts)
-	if err != nil {
-		sp.End()
-		return nil, err
-	}
-	if tr != nil {
-		st := res.Stats()
-		sp.Counter("method-contours", int64(st.MethodContours))
-		sp.Counter("obj-contours", int64(st.ObjContours))
-		sp.Counter("passes", int64(st.Passes))
-		sp.Counter("instr-evals", int64(st.Work.InstrEvals))
-		// Worklist-solver progress, for the Chrome/Perfetto export.
-		sp.Counter("rounds", int64(st.Work.Rounds))
-		sp.Counter("contour-evals", int64(st.Work.ContourEvals))
-		sp.Counter("enqueues", int64(st.Work.Enqueues))
-		// Parallel-solver scheduling, present only when the worker pool
-		// actually engaged (SCCs is 0 for the sequential engines).
-		if st.Work.SCCs > 0 {
-			sp.Counter("sccs", int64(st.Work.SCCs))
-			sp.Counter("max-scc-size", int64(st.Work.MaxSCCSize))
-			sp.Counter("parallel-rounds", int64(st.Work.ParallelRounds))
-			sp.Counter("summary-hits", int64(st.Work.SummaryHits))
+	res := prior
+	if res == nil {
+		var err error
+		res, err = analyzePhase(ctx, prog, cfg)
+		if err != nil {
+			return nil, err
 		}
 	}
-	sp.End()
 	c.Analysis = res
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("compile canceled: %w", err)
 	}
-	sp = tr.Start(trace.PhaseOptimize)
+	sp := tr.Start(trace.PhaseOptimize)
 	opt, err := core.Optimize(prog, res, core.Options{
 		Inline:      cfg.Mode == ModeInline,
 		ArrayLayout: cfg.ArrayLayout,
@@ -196,6 +187,40 @@ func CompileContext(ctx context.Context, file, src string, cfg Config) (*Compile
 		return nil, fmt.Errorf("peephole broke the program: %w", err)
 	}
 	return c, nil
+}
+
+// analyzePhase runs the contour analysis with phase tracing.
+func analyzePhase(ctx context.Context, prog *ir.Program, cfg Config) (*analysis.Result, error) {
+	tr := cfg.Trace
+	aopts := cfg.Analysis
+	aopts.Tags = cfg.Mode == ModeInline
+	sp := tr.Start(trace.PhaseAnalysis)
+	res, err := analysis.AnalyzeContext(ctx, prog, aopts)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	if tr != nil {
+		st := res.Stats()
+		sp.Counter("method-contours", int64(st.MethodContours))
+		sp.Counter("obj-contours", int64(st.ObjContours))
+		sp.Counter("passes", int64(st.Passes))
+		sp.Counter("instr-evals", int64(st.Work.InstrEvals))
+		// Worklist-solver progress, for the Chrome/Perfetto export.
+		sp.Counter("rounds", int64(st.Work.Rounds))
+		sp.Counter("contour-evals", int64(st.Work.ContourEvals))
+		sp.Counter("enqueues", int64(st.Work.Enqueues))
+		// Parallel-solver scheduling, present only when the worker pool
+		// actually engaged (SCCs is 0 for the sequential engines).
+		if st.Work.SCCs > 0 {
+			sp.Counter("sccs", int64(st.Work.SCCs))
+			sp.Counter("max-scc-size", int64(st.Work.MaxSCCSize))
+			sp.Counter("parallel-rounds", int64(st.Work.ParallelRounds))
+			sp.Counter("summary-hits", int64(st.Work.SummaryHits))
+		}
+	}
+	sp.End()
+	return res, nil
 }
 
 // RunOptions configures one execution.

@@ -73,6 +73,17 @@ type ExplainRequest struct {
 	Field string `json:"field"`
 }
 
+// SessionPatchRequest is the body of PATCH /v1/session/{id}: the edited
+// full source text. The filename and config are pinned at session
+// creation — an edit is the same program, differently written.
+type SessionPatchRequest struct {
+	// Source is the complete edited Mini-ICC program text.
+	Source string `json:"source"`
+	// DeadlineMillis bounds this patch end-to-end (0 = server default;
+	// clamped to the server maximum).
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
 // RunRequest is the body of POST /v1/run: a compilation plus execution
 // options.
 type RunRequest struct {
@@ -107,6 +118,9 @@ const (
 	// CodeUnknownField marks an explain request for a field the program
 	// does not have (404).
 	CodeUnknownField = "unknown_field"
+	// CodeUnknownSession marks a patch or delete for a session id the
+	// server does not hold — never created, expired, or evicted (404).
+	CodeUnknownSession = "unknown_session"
 )
 
 // Error is one structured service failure; Code is one of the Code*
@@ -134,5 +148,12 @@ type Envelope struct {
 	// output cap.
 	Output          string `json:"output,omitempty"`
 	OutputTruncated bool   `json:"output_truncated,omitempty"`
-	Error           *Error `json:"error,omitempty"`
+	// SessionID names the incremental session the response belongs to
+	// (session endpoints only).
+	SessionID string `json:"session_id,omitempty"`
+	// Incremental reports how a session patch was absorbed: the tier
+	// (reuse/patch/reopt/solve/cold), the re-lowered functions, and how
+	// much analysis work ran (PATCH /v1/session/{id} only).
+	Incremental *objinline.IncrementalStats `json:"incremental,omitempty"`
+	Error       *Error                      `json:"error,omitempty"`
 }

@@ -1,6 +1,10 @@
 package server
 
-import "expvar"
+import (
+	"expvar"
+
+	"objinline"
+)
 
 // metrics is one server instance's counter set, served as the JSON body of
 // GET /metrics. Each Server owns its own expvar.Map instead of publishing
@@ -43,5 +47,38 @@ func newMetrics(s *Server) *metrics {
 		_, _, _, ev := s.results.snapshot()
 		return ev
 	}))
+	m.vars.Set("sessions_active", expvar.Func(func() any {
+		n, _, _, _, _, _ := s.sessions.snapshot()
+		return n
+	}))
+	m.vars.Set("sessions_created_total", expvar.Func(func() any {
+		_, creates, _, _, _, _ := s.sessions.snapshot()
+		return creates
+	}))
+	m.vars.Set("session_patches_total", expvar.Func(func() any {
+		_, _, patches, _, _, _ := s.sessions.snapshot()
+		return patches
+	}))
+	m.vars.Set("session_evictions_total", expvar.Func(func() any {
+		_, _, _, ev, _, _ := s.sessions.snapshot()
+		return ev
+	}))
+	m.vars.Set("session_expirations_total", expvar.Func(func() any {
+		_, _, _, _, exp, _ := s.sessions.snapshot()
+		return exp
+	}))
+	// Patches by the tier that absorbed them — the service-level view of
+	// how much incremental reuse clients are getting. Flat keys keep the
+	// /metrics body a single level of numbers.
+	for _, tier := range []string{
+		objinline.TierReuse, objinline.TierPatch, objinline.TierReopt,
+		objinline.TierSolve, objinline.TierCold,
+	} {
+		tier := tier
+		m.vars.Set("session_patch_tier_"+tier+"_total", expvar.Func(func() any {
+			_, _, _, _, _, tiers := s.sessions.snapshot()
+			return tiers[tier]
+		}))
+	}
 	return m
 }

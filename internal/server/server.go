@@ -7,11 +7,16 @@
 //
 // Endpoints (see docs/SERVER.md for the full API reference):
 //
-//	POST /v1/compile  — diagnostics, inlining decisions, CompileStats
-//	POST /v1/explain  — one field's typed Decision with evidence chain
-//	POST /v1/run      — VM execution: counters, optional profile/output
-//	GET  /healthz     — liveness
-//	GET  /metrics     — this instance's counters as expvar-style JSON
+//	POST   /v1/compile      — diagnostics, inlining decisions, CompileStats
+//	POST   /v1/explain      — one field's typed Decision with evidence chain
+//	POST   /v1/run          — VM execution: counters, optional profile/output
+//	POST   /v1/session      — pin an incremental session (cold compile)
+//	PATCH  /v1/session/{id} — recompile the session at edited source,
+//	                          reusing prior analysis/optimization where the
+//	                          edit allows; byte-identical to a cold compile
+//	DELETE /v1/session/{id} — release the session
+//	GET    /healthz         — liveness
+//	GET    /metrics         — this instance's counters as expvar-style JSON
 package server
 
 import (
@@ -42,6 +47,13 @@ type Config struct {
 	// MaxOutputBytes caps the program output a run response carries
 	// (default 256 KiB); beyond it the envelope sets output_truncated.
 	MaxOutputBytes int
+	// SessionEntries bounds live incremental sessions (default 64). Each
+	// session pins a compiled program plus its analysis result, so this
+	// is a memory bound; beyond it the least recently used session is
+	// evicted and later patches to it get 404.
+	SessionEntries int
+	// SessionTTL expires sessions idle this long (default 15m).
+	SessionTTL time.Duration
 	// AnalysisJobs bounds one request's parallel-solver worker count
 	// (default GOMAXPROCS). A request holds a single admission-pool token
 	// however many analysis workers it runs, so this cap is what keeps a
@@ -78,6 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.AnalysisJobs <= 0 {
 		c.AnalysisJobs = runtime.GOMAXPROCS(0)
 	}
+	if c.SessionEntries <= 0 {
+		c.SessionEntries = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -85,10 +103,11 @@ func (c Config) withDefaults() Config {
 // http.Server (whose Shutdown gives graceful draining — in-flight
 // requests hold the handler goroutine, so Shutdown waits for them).
 type Server struct {
-	cfg     Config
-	results *cache
-	mux     *http.ServeMux
-	metrics *metrics
+	cfg      Config
+	results  *cache
+	sessions *sessionStore
+	mux      *http.ServeMux
+	metrics  *metrics
 
 	// workers is the bounded pool: holding a token = doing compiler or VM
 	// work. queued counts requests waiting for a token; beyond
@@ -101,19 +120,29 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		results: newCache(cfg.CacheEntries),
-		workers: make(chan struct{}, cfg.PoolSize),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		results:  newCache(cfg.CacheEntries),
+		sessions: newSessionStore(cfg.SessionEntries, cfg.SessionTTL),
+		workers:  make(chan struct{}, cfg.PoolSize),
+		mux:      http.NewServeMux(),
 	}
 	s.metrics = newMetrics(s)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("PATCH /v1/session/{id}", s.handleSessionPatch)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// Close releases everything the server pins beyond in-flight requests —
+// today, the incremental sessions and their compiled programs. Call it
+// after http.Server.Shutdown has drained; the handler itself keeps
+// working (patches to released sessions get 404).
+func (s *Server) Close() { s.sessions.purge() }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)

@@ -198,12 +198,26 @@ func Compile(filename, src string, cfg Config, opts ...Option) (*Program, error)
 // returns an error wrapping ctx.Err() (match it with
 // errors.Is(err, context.DeadlineExceeded) or context.Canceled).
 func CompileContext(ctx context.Context, filename, src string, cfg Config, opts ...Option) (*Program, error) {
+	pcfg, err := cfg.toPipeline(opts)
+	if err != nil {
+		return nil, err
+	}
+	c, err := pipeline.CompileContext(ctx, filename, src, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// toPipeline maps the public configuration (plus options) onto the
+// internal pipeline's.
+func (c Config) toPipeline(opts []Option) (pipeline.Config, error) {
 	var settings compileSettings
 	for _, o := range opts {
 		o(&settings)
 	}
 	var mode pipeline.Mode
-	switch cfg.Mode {
+	switch c.Mode {
 	case Direct:
 		mode = pipeline.ModeDirect
 	case Baseline:
@@ -211,27 +225,108 @@ func CompileContext(ctx context.Context, filename, src string, cfg Config, opts 
 	case Inline:
 		mode = pipeline.ModeInline
 	default:
-		return nil, fmt.Errorf("objinline: unknown mode %d", cfg.Mode)
+		return pipeline.Config{}, fmt.Errorf("objinline: unknown mode %d", c.Mode)
 	}
 	layout := core.LayoutObjectOrder
-	if cfg.ParallelArrays {
+	if c.ParallelArrays {
 		layout = core.LayoutParallel
 	}
-	c, err := pipeline.CompileContext(ctx, filename, src, pipeline.Config{
+	return pipeline.Config{
 		Mode:        mode,
 		ArrayLayout: layout,
 		Analysis: analysis.Options{
-			TagDepth:  cfg.TagDepth,
-			MaxPasses: cfg.MaxPasses,
-			Solver:    cfg.Solver,
-			Jobs:      cfg.Jobs,
+			TagDepth:  c.TagDepth,
+			MaxPasses: c.MaxPasses,
+			Solver:    c.Solver,
+			Jobs:      c.Jobs,
 		},
 		Trace: settings.trace,
-	})
+	}, nil
+}
+
+// Session pins a compilation across source edits for incremental
+// recompiles. Create one with NewSession, then feed each edited full
+// source text to Patch: unchanged functions keep their prior IR
+// (identity-checked by content hash), payload-only edits additionally
+// reuse the prior contour-analysis result verbatim, and only structural
+// edits (classes, fields, globals, function signatures) fall back to a
+// cold compile. Every patch's output is byte-identical to a cold compile
+// of the same source.
+//
+// A Session is not safe for concurrent use; callers serialize Patch (the
+// oicd server holds one mutex per session). Patch invalidates Programs
+// returned by earlier calls on the same session.
+type Session struct {
+	s *pipeline.Session
+	p *Program
+}
+
+// IncrementalStats reports how a Session.Patch was absorbed: the tier
+// ("reuse", "patch", "reopt", "solve", or "cold"), which functions were
+// re-lowered, and whether (and how much) the analysis ran.
+// JSON-serializable.
+type IncrementalStats = pipeline.IncrementalStats
+
+// Incremental tier names, cheapest first (see Session).
+const (
+	// TierReuse: the source was byte-identical; nothing ran.
+	TierReuse = pipeline.TierReuse
+	// TierPatch: every changed function kept its IR shape at unchanged
+	// source positions (a pure constant/literal edit); the prior analysis
+	// and the prior optimized program were both reused wholesale, with
+	// the new constant payloads forwarded into the optimized output.
+	TierPatch = pipeline.TierPatch
+	// TierReopt: shapes held but positions shifted; the prior analysis
+	// result was reused (zero analysis work) and only the optimizer back
+	// end re-ran to refresh position-bearing reports.
+	TierReopt = pipeline.TierReopt
+	// TierSolve: a function body changed shape; the edit was absorbed by
+	// splicing re-lowered bodies, but the whole-program analysis re-ran.
+	TierSolve = pipeline.TierSolve
+	// TierCold: a structural edit forced a full recompile.
+	TierCold = pipeline.TierCold
+)
+
+// NewSession cold-compiles src and pins the incremental state.
+func NewSession(filename, src string, cfg Config, opts ...Option) (*Session, error) {
+	return NewSessionContext(context.Background(), filename, src, cfg, opts...)
+}
+
+// NewSessionContext is NewSession with cancellation (see CompileContext).
+func NewSessionContext(ctx context.Context, filename, src string, cfg Config, opts ...Option) (*Session, error) {
+	pcfg, err := cfg.toPipeline(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{c: c}, nil
+	ps, c, err := pipeline.NewSessionContext(ctx, filename, src, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: ps, p: &Program{c: c}}, nil
+}
+
+// Program returns the session's current compiled program.
+func (s *Session) Program() *Program { return s.p }
+
+// Source returns the session's current source text.
+func (s *Session) Source() string { return s.s.Source() }
+
+// Patch recompiles the session at the edited full source text, reusing
+// as much prior work as the edit allows. On error (parse, check, or
+// lowering) the session keeps its previous program.
+func (s *Session) Patch(src string) (*Program, IncrementalStats, error) {
+	return s.PatchContext(context.Background(), src)
+}
+
+// PatchContext is Patch with cancellation. A patch canceled mid-pipeline
+// leaves the session consistent: the next patch simply rebuilds cold.
+func (s *Session) PatchContext(ctx context.Context, src string) (*Program, IncrementalStats, error) {
+	c, st, err := s.s.PatchContext(ctx, src)
+	if err != nil {
+		return nil, st, err
+	}
+	s.p = &Program{c: c}
+	return s.p, st, nil
 }
 
 // CacheConfig is the simulated data cache's geometry.
