@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet check-json bench bench-analysis bench-incremental bench-serve payoff figs serve
+.PHONY: check build test race vet check-json bench bench-analysis bench-incremental bench-calibration bench-serve payoff figs serve
 
 check: build vet race check-json
 
@@ -46,6 +46,14 @@ bench-analysis:
 bench-incremental:
 	$(GO) run ./cmd/objbench -fig incremental -json > BENCH_incremental.json
 	$(GO) run ./cmd/objbench -fig incremental
+
+# Cost-model cross-validation: the VM's predicted inlining speedups and
+# allocation deltas vs the native tier's measured wall-time and
+# allocator deltas (EXPERIMENTS.md has the methodology and caveats).
+# Saved as BENCH_calibration.json plus the human-readable table.
+bench-calibration:
+	$(GO) run ./cmd/objbench -fig calibration -json > BENCH_calibration.json
+	$(GO) run ./cmd/objbench -fig calibration
 
 # Per-field payoff attribution: profiled inlining-on vs inlining-off runs
 # joined against the optimizer's decision (docs/OBSERVABILITY.md), saved

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|serve|payoff|incremental|all] [-scale small|medium|default]
+//	objbench [-fig 14|15|16|17|A1|A2|A3|analysis|phases|serve|payoff|incremental|calibration|all] [-scale small|medium|default]
 //	         [-jobs N] [-json] [-stats] [-cpuprofile f] [-memprofile f]
 //
 // The extra "analysis" figure benchmarks the analysis phase itself
@@ -129,6 +129,19 @@ var figures = []figure{
 		explicitOnly: true,
 	},
 	{
+		// The cost-model cross-validation: predicted inlining speedups and
+		// allocation deltas (VM) vs measured ones (native tier). Builds
+		// and times real binaries, so explicit-only like the other
+		// wall-clock figures (`make bench-calibration` emits
+		// BENCH_calibration.json).
+		name: "calibration",
+		compute: func(e *bench.Engine, s bench.Scale) (any, error) {
+			return e.Calibration(s)
+		},
+		print:        func(w io.Writer, rows any) { bench.PrintCalibration(w, rows.(*bench.Calibration)) },
+		explicitOnly: true,
+	},
+	{
 		// Explicit-only not for timing reasons but because the profiled
 		// runs live in their own cache: folding them into -fig all would
 		// double every benchmark execution for figures that don't need
@@ -141,7 +154,7 @@ var figures = []figure{
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, serve, payoff, incremental, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 14, 15, 16, 17, A1, A2, A3, analysis, phases, serve, payoff, incremental, calibration, or all")
 	scaleName := flag.String("scale", "default", "workload scale: small, medium, or default")
 	jobs := flag.Int("jobs", 0, "worker-pool size for the measurement engine (0 = GOMAXPROCS)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")

@@ -7,11 +7,24 @@
 // Usage:
 //
 //	oic [flags] program.icc
-//	oic [flags] -          # read the program from stdin
+//	oic [flags] -              # read the program from stdin
+//	oic [flags] bench:richards # compile a bundled benchmark program
 //
 // Flags:
 //
 //	-mode direct|baseline|inline   pipeline (default inline)
+//	-engine vm|native              execution tier (default vm): native
+//	                               emits the optimized IR as a Go
+//	                               package, builds it, and runs the
+//	                               binary, reporting real wall time and
+//	                               allocator deltas instead of modeled
+//	                               cycles
+//	-reps N                        native engine: run the program body N
+//	                               times in one process (printing muted
+//	                               after the first) for stable timing
+//	-emit-dir DIR                  native engine: keep the emitted Go
+//	                               package and binary in DIR for
+//	                               inspection
 //	-timeout 5s                    abort compilation or execution after
 //	                               this long (default: no limit); the
 //	                               deadline is enforced inside the
@@ -48,6 +61,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"objinline"
 	"objinline/internal/server/api"
@@ -70,6 +85,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("oic", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	modeName := fs.String("mode", "inline", "pipeline: direct, baseline, or inline")
+	engineName := fs.String("engine", "", "execution engine: vm (default) or native")
+	reps := fs.Int("reps", 0, "native engine: repetitions inside one process (0 = 1)")
+	emitDir := fs.String("emit-dir", "", "native engine: keep the emitted Go package here")
 	timeout := fs.Duration("timeout", 0, "abort compilation or execution after this long (0 = no limit)")
 	parallel := fs.Bool("parallel", false, "use the parallel inlined-array layout")
 	solver := fs.String("solver", "", "analysis solver: worklist, sweep, or parallel (default worklist)")
@@ -127,6 +145,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		// diagnostics and source positions will say.
 		file = "<stdin>"
 		src, err = io.ReadAll(stdin)
+	} else if name, ok := strings.CutPrefix(file, "bench:"); ok {
+		// A bundled benchmark by name ("bench:richards"); the label keeps
+		// the scheme so diagnostics say where the source came from.
+		var text string
+		text, err = objinline.BenchmarkSource(name, false)
+		src = []byte(text)
 	} else {
 		src, err = os.ReadFile(file)
 	}
@@ -137,6 +161,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	mode, err := objinline.ParseMode(*modeName)
 	if err != nil {
 		return fail(err)
+	}
+	engine, err := objinline.ParseEngine(*engineName)
+	if err != nil {
+		return fail(err)
+	}
+	if engine == objinline.EngineNative && *profile {
+		return fail(fmt.Errorf("-profile requires the vm engine: site attribution is VM instrumentation"))
 	}
 	switch *solver {
 	case "", objinline.SolverWorklist, objinline.SolverSweep, objinline.SolverParallel:
@@ -209,7 +240,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		if *asJSON {
 			out = stderr
 		}
-		m, err := prog.RunContext(ctx, objinline.RunOptions{Output: out, Profile: *profile})
+		res, err := prog.Execute(ctx, objinline.RunOptions{
+			Output:     out,
+			Profile:    *profile,
+			Engine:     engine,
+			NativeReps: *reps,
+			EmitDir:    *emitDir,
+		})
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				return deadlined(err)
@@ -217,11 +254,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			return fail(err)
 		}
 		if *asJSON {
-			env.Metrics = &m
+			env.Engine = res.Engine.String()
+			env.Metrics = res.Metrics
+			env.Native = res.Native
 			env.Profile = prog.Profile()
 		} else {
-			if *metrics {
-				printMetrics(stderr, m)
+			if *metrics && res.Metrics != nil {
+				printMetrics(stderr, *res.Metrics)
+			}
+			if *metrics && res.Native != nil {
+				printNativeMetrics(stderr, res.Native)
 			}
 			if *profile {
 				printProfile(stderr, prog.Profile())
@@ -307,6 +349,12 @@ func printMetrics(w io.Writer, m objinline.Metrics) {
 	fmt.Fprintf(w, "heap objects: %d, stack temporaries: %d, arrays: %d (%d bytes)\n",
 		m.HeapObjects, m.StackObjects, m.Arrays, m.BytesAllocated)
 	fmt.Fprintf(w, "cache: %d hits, %d misses\n", m.CacheHits, m.CacheMisses)
+}
+
+func printNativeMetrics(w io.Writer, n *objinline.NativeMetrics) {
+	fmt.Fprintf(w, "native wall time: %v over %d reps (build %v)\n",
+		time.Duration(n.WallNanos), n.Reps, time.Duration(n.BuildNanos))
+	fmt.Fprintf(w, "native allocations: %d (%d bytes)\n", n.Mallocs, n.AllocBytes)
 }
 
 func printProfile(w io.Writer, p *objinline.RunProfile) {

@@ -217,3 +217,78 @@ func TestExplainStillWorks(t *testing.T) {
 		t.Errorf("explain output: %q", stdout.String())
 	}
 }
+
+// TestBenchSourceScheme checks "bench:NAME" compiles a bundled benchmark
+// and keeps the scheme as the diagnostic label.
+func TestBenchSourceScheme(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-norun", "-json", "bench:richards"}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	var env struct {
+		File     string `json:"file"`
+		CodeSize int    `json:"code_size"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if env.File != "bench:richards" || env.CodeSize == 0 {
+		t.Errorf("envelope = %+v", env)
+	}
+	// An unknown benchmark fails with its name in the diagnostic.
+	stderr.Reset()
+	if code := run([]string{"-norun", "bench:nosuch"}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuch") {
+		t.Errorf("diagnostic does not name the benchmark: %q", stderr.String())
+	}
+}
+
+// TestNativeEngineFlag runs a program on the native tier and checks the
+// envelope reports the engine and its real measurements in place of the
+// VM's modeled metrics.
+func TestNativeEngineFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a native binary")
+	}
+	var stdout, stderr bytes.Buffer
+	stdin := strings.NewReader("func main() { print(6 * 7); }")
+	if code := run([]string{"-json", "-engine", "native", "-reps", "2", "-"}, stdin, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	var env struct {
+		Engine  string `json:"engine"`
+		Metrics any    `json:"metrics"`
+		Native  struct {
+			WallNanos  int64 `json:"wall_nanos"`
+			BuildNanos int64 `json:"build_nanos"`
+			Reps       int   `json:"reps"`
+		} `json:"native"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if env.Engine != "native" || env.Metrics != nil {
+		t.Errorf("engine = %q, metrics = %v; want native with no VM metrics", env.Engine, env.Metrics)
+	}
+	if env.Native.Reps != 2 || env.Native.WallNanos <= 0 || env.Native.BuildNanos <= 0 {
+		t.Errorf("implausible native measurements: %+v", env.Native)
+	}
+	if got := stderr.String(); got != "42\n" {
+		t.Errorf("program output = %q, want %q (reps must not multiply it)", got, "42\n")
+	}
+}
+
+// TestNativeEngineRejectsProfile pins the fail-fast path: -profile is VM
+// instrumentation.
+func TestNativeEngineRejectsProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	stdin := strings.NewReader("func main() { print(1); }")
+	if code := run([]string{"-engine", "native", "-profile", "-"}, stdin, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "vm engine") {
+		t.Errorf("diagnostic = %q", stderr.String())
+	}
+}

@@ -30,6 +30,23 @@ func TestFingerprintEquivalentConfigs(t *testing.T) {
 	}
 }
 
+// TestFingerprintExcludesEngine pins the other direction of the
+// contract for the engine knob: Engine selects which tier executes the
+// program, never what is compiled, so configurations differing only in
+// Engine must share one fingerprint. If the engine leaked into the key,
+// every native run would recompile (and re-cache) work the server
+// already has under the VM key.
+func TestFingerprintExcludesEngine(t *testing.T) {
+	base := objinline.Config{Mode: objinline.Inline}
+	for _, e := range []objinline.Engine{objinline.EngineDefault, objinline.EngineVM, objinline.EngineNative} {
+		cfg := base
+		cfg.Engine = e
+		if got, want := cfg.Fingerprint(), base.Fingerprint(); got != want {
+			t.Errorf("engine %s changed the fingerprint:\n  base:   %s\n  engine: %s", e, want, got)
+		}
+	}
+}
+
 // TestFingerprintDistinguishesKnobs checks every knob that can change
 // compilation output changes the fingerprint.
 func TestFingerprintDistinguishesKnobs(t *testing.T) {

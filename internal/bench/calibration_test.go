@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"objinline/internal/pipeline"
+)
+
+// TestCalibrationSmall runs the full calibration figure at the small
+// scale: every benchmark measured on both engines in both modes, with
+// plausible numbers and a rendering that always states the ordering
+// verdict one way or the other.
+func TestCalibrationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two native binaries per benchmark")
+	}
+	e := NewEngine(0)
+	cal, err := e.Calibration(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Rows) != len(Programs) {
+		t.Fatalf("%d rows, want %d", len(cal.Rows), len(Programs))
+	}
+	for _, r := range cal.Rows {
+		if r.Reps != calibrationReps(ScaleSmall) {
+			t.Errorf("%s: reps = %d", r.Program, r.Reps)
+		}
+		if r.PredictedBaseCycles <= 0 || r.PredictedInlineCycles <= 0 {
+			t.Errorf("%s: empty predictions: %+v", r.Program, r)
+		}
+		if r.NativeBaseNanos <= 0 || r.NativeInlineNanos <= 0 {
+			t.Errorf("%s: empty native wall times: %+v", r.Program, r)
+		}
+		if r.PredictedSpeedup <= 0 || r.MeasuredSpeedup <= 0 || r.SpeedupRatio <= 0 {
+			t.Errorf("%s: degenerate speedups: %+v", r.Program, r)
+		}
+		// Inlining removes allocations in every bundled benchmark, so the
+		// model must predict a positive delta.
+		if r.PredictedAllocDelta <= 0 {
+			t.Errorf("%s: predicted alloc delta %d, want > 0", r.Program, r.PredictedAllocDelta)
+		}
+	}
+
+	var buf strings.Builder
+	PrintCalibration(&buf, cal)
+	out := buf.String()
+	if !strings.Contains(out, "Calibration:") {
+		t.Errorf("rendering lacks the title:\n%s", out)
+	}
+	if len(cal.Misordered) > 0 {
+		if !strings.Contains(out, "!! CALIBRATION MISORDER") {
+			t.Errorf("misordered pairs present but no loud marker:\n%s", out)
+		}
+	} else if !strings.Contains(out, "ordering:") {
+		t.Errorf("clean ordering but no verdict line:\n%s", out)
+	}
+}
+
+// TestMeasureNativeMemoized pins the single-build contract: two requests
+// for the same configuration share one native execution.
+func TestMeasureNativeMemoized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a native binary")
+	}
+	e := NewEngine(0)
+	p, err := ByName("richards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.Config{Mode: pipeline.ModeInline}
+	first, err := e.MeasureNative(p, VariantAuto, ScaleSmall, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.MeasureNative(p, VariantAuto, ScaleSmall, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("second MeasureNative did not return the memoized measurement")
+	}
+	s := e.Stats()
+	if s.Runs != 1 || s.RunHits != 1 {
+		t.Errorf("stats = %+v, want exactly one run and one hit", s)
+	}
+	if first.Reps != 2 || first.WallNanos <= 0 || first.BuildNanos <= 0 {
+		t.Errorf("implausible measurement: %+v", first)
+	}
+}

@@ -73,11 +73,12 @@ type Engine struct {
 	jobs int
 	sem  chan struct{}
 
-	mu       sync.Mutex
-	compiles map[CompileKey]*inflight[*pipeline.Compiled]
-	runs     map[CompileKey]*inflight[*Measurement]
-	profRuns map[CompileKey]*inflight[*Measurement]
-	stats    Stats
+	mu         sync.Mutex
+	compiles   map[CompileKey]*inflight[*pipeline.Compiled]
+	runs       map[CompileKey]*inflight[*Measurement]
+	profRuns   map[CompileKey]*inflight[*Measurement]
+	nativeRuns map[CompileKey]*inflight[*pipeline.NativeRun]
+	stats      Stats
 }
 
 // NewEngine builds an engine with the given worker-pool size; jobs <= 0
@@ -87,11 +88,12 @@ func NewEngine(jobs int) *Engine {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		jobs:     jobs,
-		sem:      make(chan struct{}, jobs),
-		compiles: make(map[CompileKey]*inflight[*pipeline.Compiled]),
-		runs:     make(map[CompileKey]*inflight[*Measurement]),
-		profRuns: make(map[CompileKey]*inflight[*Measurement]),
+		jobs:       jobs,
+		sem:        make(chan struct{}, jobs),
+		compiles:   make(map[CompileKey]*inflight[*pipeline.Compiled]),
+		runs:       make(map[CompileKey]*inflight[*Measurement]),
+		profRuns:   make(map[CompileKey]*inflight[*Measurement]),
+		nativeRuns: make(map[CompileKey]*inflight[*pipeline.NativeRun]),
 	}
 }
 

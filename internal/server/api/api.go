@@ -99,6 +99,20 @@ type RunRequest struct {
 	// IncludeOutput returns the program's print output in the envelope
 	// (capped at the server's output limit).
 	IncludeOutput bool `json:"include_output,omitempty"`
+	// Engine selects the execution tier: "vm" (default) or "native",
+	// which emits the optimized IR as Go, builds it, and runs the binary,
+	// returning real wall-time and allocator measurements in the
+	// envelope's native section. Native results are content-addressed and
+	// cached like compilations (a native build is far more expensive than
+	// a VM run); a cache hit replays the original execution's
+	// measurements byte-for-byte. "native" cannot be combined with
+	// Profile — site attribution is VM instrumentation.
+	Engine string `json:"engine,omitempty"`
+	// NativeReps, for the native engine, is how many times the program
+	// body executes inside one process for measurement stability (0 means
+	// 1; printing is muted after the first repetition). It is part of the
+	// native result's cache key.
+	NativeReps int `json:"native_reps,omitempty"`
 }
 
 // Stable machine-readable error codes (Error.Code).
@@ -121,6 +135,10 @@ const (
 	// CodeUnknownSession marks a patch or delete for a session id the
 	// server does not hold — never created, expired, or evicted (404).
 	CodeUnknownSession = "unknown_session"
+	// CodeInternal marks a nondeterministic server-side failure (500) —
+	// e.g. the native tier's go toolchain failing. Never cached, so the
+	// request can simply be retried.
+	CodeInternal = "internal_error"
 )
 
 // Error is one structured service failure; Code is one of the Code*
@@ -143,6 +161,12 @@ type Envelope struct {
 	Stats    *objinline.CompileStats     `json:"stats,omitempty"`
 	Metrics  *objinline.Metrics          `json:"metrics,omitempty"`
 	Profile  *objinline.RunProfile       `json:"profile,omitempty"`
+	// Engine names the execution tier that produced a run response ("vm"
+	// or "native"), echoed in the X-Oicd-Engine header as well; Native
+	// carries the native tier's real measurements (wall time, build time,
+	// Go allocator deltas) in place of Metrics.
+	Engine string                   `json:"engine,omitempty"`
+	Native *objinline.NativeMetrics `json:"native,omitempty"`
 	// Output is the program's print output (run requests with
 	// IncludeOutput); OutputTruncated marks it as cut at the server's
 	// output cap.

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sync"
 
 	"objinline"
@@ -20,6 +21,18 @@ func cacheKey(cfg objinline.Config, filename, source string) string {
 	h.Write([]byte(filename))
 	h.Write([]byte{0})
 	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// nativeRunKey is the content address of one native execution: the
+// compilation it runs (already content-addressed by cacheKey) plus every
+// request knob that shapes the native response — repetitions and whether
+// the output rides along. The engine name is baked into the prefix, so
+// native results can never collide with compile entries even if the two
+// caches were ever merged.
+func nativeRunKey(compileKey string, reps int, includeOutput bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "native-run\x00%s\x00%d\x00%t", compileKey, reps, includeOutput)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

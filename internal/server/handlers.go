@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"objinline"
+	"objinline/internal/emit"
 	"objinline/internal/server/api"
 )
 
@@ -240,6 +241,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	engine, err := objinline.ParseEngine(req.Engine)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	if engine == objinline.EngineNative && req.Profile {
+		s.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"profile requires the vm engine: site attribution is VM instrumentation")
+		return
+	}
 	p, ok := s.prepare(w, r, &req.CompileRequest)
 	if !ok {
 		return
@@ -253,8 +264,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.replay(w, e)
 		return
 	}
+	if engine == objinline.EngineNative {
+		w.Header().Set("X-Oicd-Engine", objinline.EngineNative.String())
+		s.runNative(w, r, &p, e, &req)
+		return
+	}
+	w.Header().Set("X-Oicd-Engine", objinline.EngineVM.String())
 
-	// Runs are per-request work (never cached), so each one occupies a
+	// VM runs are per-request work (never cached), so each one occupies a
 	// worker; the request context keeps the client's cancellation — a
 	// run's result is not shared, so hanging up may cancel it.
 	if err := s.acquire(p.ctx); err != nil {
@@ -287,7 +304,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var (
 		m       objinline.Metrics
 		profile *objinline.RunProfile
-		err     error
 	)
 	if req.Profile {
 		// Profiled runs read their attribution back off the Program, so
@@ -313,6 +329,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	env := api.Envelope{
 		File:    p.filename,
 		Mode:    e.prog.Mode().String(),
+		Engine:  objinline.EngineVM.String(),
 		Metrics: &m,
 		Profile: profile,
 	}
@@ -321,6 +338,125 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		env.OutputTruncated = out.truncated
 	}
 	s.writeEnvelope(w, http.StatusOK, env)
+}
+
+// runNative serves a native-engine run: emit the compiled program's
+// optimized IR as Go, build it, execute the binary, and report real
+// measurements. A native build costs orders of magnitude more than a VM
+// run, so results are content-addressed and singleflighted exactly like
+// compilations — concurrent identical requests coalesce onto one build,
+// and a warm request replays the original execution's envelope (its
+// measurements included) byte for byte.
+func (s *Server) runNative(w http.ResponseWriter, r *http.Request, p *prepared, ce *entry, req *api.RunRequest) {
+	reps := req.NativeReps
+	if reps < 1 {
+		reps = 1
+	}
+	key := nativeRunKey(p.key, reps, req.IncludeOutput)
+	e, leader := s.nativeRuns.claim(key)
+	if !leader {
+		w.Header().Set("X-Oicd-Run-Cache", "hit")
+		select {
+		case <-e.done:
+			s.replay(w, e)
+		case <-p.ctx.Done():
+			s.metrics.deadlineExceeded.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
+				"deadline exceeded waiting for in-flight native run: "+p.ctx.Err().Error())
+		}
+		return
+	}
+
+	w.Header().Set("X-Oicd-Run-Cache", "miss")
+	if err := s.acquire(p.ctx); err != nil {
+		// Same treatment as a shed compile leader: settle the entry for
+		// anyone already waiting, then drop it so the key retries fresh.
+		status := http.StatusTooManyRequests
+		env := api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: err.Error()}}
+		if !errors.Is(err, errOverloaded) {
+			status = http.StatusGatewayTimeout
+			env.Error = &api.Error{Code: api.CodeDeadlineExceeded, Message: "deadline exceeded waiting for a worker: " + err.Error()}
+			s.metrics.deadlineExceeded.Add(1)
+		} else {
+			s.metrics.shed.Add(1)
+		}
+		e.status = status
+		e.body = marshalEnvelope(env)
+		s.nativeRuns.drop(e)
+		close(e.done)
+		s.replay(w, e)
+		return
+	}
+	defer s.release()
+	s.metrics.nativeRuns.Add(1)
+
+	// Like a compile, the result is shared with every coalesced request,
+	// so the build-and-run detaches from this client's connection; only
+	// the deadline cancels it.
+	ctx, cancel := context.WithDeadline(context.WithoutCancel(r.Context()), p.deadline)
+	defer cancel()
+	s.nativeRunInto(ctx, e, ce, p, req, reps)
+	s.replay(w, e)
+}
+
+// nativeRunInto executes the native run and fills e, closing e.done.
+// Program traps are deterministic and stay cached (like compile errors);
+// deadline cancellations and toolchain failures are dropped so the key
+// can be retried.
+func (s *Server) nativeRunInto(ctx context.Context, e, ce *entry, p *prepared, req *api.RunRequest, reps int) {
+	defer close(e.done)
+	out := capWriter{max: s.cfg.MaxOutputBytes}
+	ro := objinline.RunOptions{
+		Engine:     objinline.EngineNative,
+		NativeReps: reps,
+	}
+	if req.IncludeOutput {
+		ro.Output = &out
+	}
+	res, err := ce.prog.Execute(ctx, ro)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.deadlineExceeded.Add(1)
+			e.status = http.StatusGatewayTimeout
+			e.body = marshalEnvelope(api.Envelope{
+				File:  p.filename,
+				Error: &api.Error{Code: api.CodeDeadlineExceeded, Message: err.Error()},
+			})
+			s.nativeRuns.drop(e)
+			return
+		}
+		var rte *emit.RuntimeError
+		if errors.As(err, &rte) {
+			e.status = http.StatusUnprocessableEntity
+			e.body = marshalEnvelope(api.Envelope{
+				File:   p.filename,
+				Engine: objinline.EngineNative.String(),
+				Error:  &api.Error{Code: api.CodeRuntimeError, Message: err.Error()},
+			})
+			return
+		}
+		// Emission or go-build failure: not a property of the program, so
+		// never cached.
+		e.status = http.StatusInternalServerError
+		e.body = marshalEnvelope(api.Envelope{
+			File:  p.filename,
+			Error: &api.Error{Code: api.CodeInternal, Message: err.Error()},
+		})
+		s.nativeRuns.drop(e)
+		return
+	}
+	env := api.Envelope{
+		File:   p.filename,
+		Mode:   ce.prog.Mode().String(),
+		Engine: objinline.EngineNative.String(),
+		Native: res.Native,
+	}
+	if req.IncludeOutput {
+		env.Output = out.buf.String()
+		env.OutputTruncated = out.truncated
+	}
+	e.status = http.StatusOK
+	e.body = marshalEnvelope(env)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ type metrics struct {
 	requests         expvar.Int // requests_total
 	compiles         expvar.Int // compiles_total: compiles actually executed (cache misses that ran)
 	runs             expvar.Int // runs_total: VM executions
+	nativeRuns       expvar.Int // native_runs_total: native build-and-run executions (cache misses that ran)
 	shed             expvar.Int // shed_total: requests rejected with 429
 	deadlineExceeded expvar.Int // deadline_exceeded_total: requests that hit their deadline
 	inflight         expvar.Int // gauge: requests currently being served
@@ -26,6 +27,7 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("requests_total", &m.requests)
 	m.vars.Set("compiles_total", &m.compiles)
 	m.vars.Set("runs_total", &m.runs)
+	m.vars.Set("native_runs_total", &m.nativeRuns)
 	m.vars.Set("shed_total", &m.shed)
 	m.vars.Set("deadline_exceeded_total", &m.deadlineExceeded)
 	m.vars.Set("inflight", &m.inflight)
@@ -46,6 +48,18 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("cache_evictions_total", expvar.Func(func() any {
 		_, _, _, ev := s.results.snapshot()
 		return ev
+	}))
+	m.vars.Set("native_cache_entries", expvar.Func(func() any {
+		n, _, _, _ := s.nativeRuns.snapshot()
+		return n
+	}))
+	m.vars.Set("native_cache_hits_total", expvar.Func(func() any {
+		_, hits, _, _ := s.nativeRuns.snapshot()
+		return hits
+	}))
+	m.vars.Set("native_cache_misses_total", expvar.Func(func() any {
+		_, _, misses, _ := s.nativeRuns.snapshot()
+		return misses
 	}))
 	m.vars.Set("sessions_active", expvar.Func(func() any {
 		n, _, _, _, _, _ := s.sessions.snapshot()

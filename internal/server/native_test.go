@@ -1,0 +1,185 @@
+package server
+
+// The /v1/run engine selection contract: "native" builds and executes
+// the emitted program with content-addressed result caching, "vm" (and
+// the default) keeps the exact pre-engine behavior, and the invalid
+// combinations fail fast with 400 before any work is admitted.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"objinline/internal/server/api"
+)
+
+const nativeDemo = `
+class Point {
+  x; y;
+  def init(x, y) { self.x = x; self.y = y; }
+  def sum() { return self.x + self.y; }
+}
+func main() {
+  var p = new Point(20, 22);
+  print(p.sum());
+}
+`
+
+func TestRunEngineVMDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts, "/v1/run", api.RunRequest{
+		CompileRequest: api.CompileRequest{Source: nativeDemo},
+		IncludeOutput:  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Oicd-Engine"); got != "vm" {
+		t.Errorf("X-Oicd-Engine = %q, want vm", got)
+	}
+	var env api.Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Engine != "vm" || env.Metrics == nil || env.Native != nil {
+		t.Errorf("default engine envelope wrong: engine=%q metrics=%v native=%v", env.Engine, env.Metrics != nil, env.Native)
+	}
+	if env.Output != "42\n" {
+		t.Errorf("output = %q", env.Output)
+	}
+}
+
+func TestRunEngineUnknown(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts, "/v1/run", api.RunRequest{
+		CompileRequest: api.CompileRequest{Source: nativeDemo},
+		Engine:         "jit",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var env api.Envelope
+	json.Unmarshal(body, &env)
+	if env.Error == nil || env.Error.Code != api.CodeBadRequest {
+		t.Errorf("error = %+v, want %s", env.Error, api.CodeBadRequest)
+	}
+}
+
+func TestRunNativeRejectsProfile(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts, "/v1/run", api.RunRequest{
+		CompileRequest: api.CompileRequest{Source: nativeDemo},
+		Engine:         "native",
+		Profile:        true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "vm engine") {
+		t.Errorf("body does not explain the vm-engine requirement: %s", body)
+	}
+}
+
+func TestRunNativeEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a native binary")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := api.RunRequest{
+		CompileRequest: api.CompileRequest{Source: nativeDemo, DeadlineMillis: 120_000},
+		Engine:         "native",
+		NativeReps:     2,
+		IncludeOutput:  true,
+	}
+	cold, coldBody := postJSON(t, ts, "/v1/run", req)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", cold.StatusCode, coldBody)
+	}
+	if got := cold.Header.Get("X-Oicd-Engine"); got != "native" {
+		t.Errorf("X-Oicd-Engine = %q, want native", got)
+	}
+	if got := cold.Header.Get("X-Oicd-Run-Cache"); got != "miss" {
+		t.Errorf("cold X-Oicd-Run-Cache = %q, want miss", got)
+	}
+	var env api.Envelope
+	if err := json.Unmarshal(coldBody, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Engine != "native" || env.Metrics != nil {
+		t.Errorf("native envelope wrong: engine=%q metrics=%v", env.Engine, env.Metrics)
+	}
+	n := env.Native
+	if n == nil {
+		t.Fatalf("envelope lacks native measurements: %s", coldBody)
+	}
+	if n.Reps != 2 || n.WallNanos <= 0 || n.BuildNanos <= 0 {
+		t.Errorf("implausible native measurements: %+v", n)
+	}
+	if env.Output != "42\n" {
+		t.Errorf("output = %q, want %q", env.Output, "42\n")
+	}
+
+	// The second identical request must replay the cached envelope —
+	// original measurements included — without building again.
+	warm, warmBody := postJSON(t, ts, "/v1/run", req)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", warm.StatusCode, warmBody)
+	}
+	if got := warm.Header.Get("X-Oicd-Run-Cache"); got != "hit" {
+		t.Errorf("warm X-Oicd-Run-Cache = %q, want hit", got)
+	}
+	if string(warmBody) != string(coldBody) {
+		t.Errorf("warm native response not byte-identical:\ncold: %s\nwarm: %s", coldBody, warmBody)
+	}
+	m := getMetrics(t, ts)
+	if m["native_runs_total"] != 1 {
+		t.Errorf("native_runs_total = %v, want 1 (the warm request must not rebuild)", m["native_runs_total"])
+	}
+	if m["native_cache_hits_total"] != 1 {
+		t.Errorf("native_cache_hits_total = %v, want 1", m["native_cache_hits_total"])
+	}
+
+	// A different reps count is a different measurement and must miss.
+	req.NativeReps = 3
+	again, _ := postJSON(t, ts, "/v1/run", req)
+	if got := again.Header.Get("X-Oicd-Run-Cache"); got != "miss" {
+		t.Errorf("changed-reps X-Oicd-Run-Cache = %q, want miss", got)
+	}
+}
+
+func TestRunNativeTrapCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a native binary")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := api.RunRequest{
+		CompileRequest: api.CompileRequest{Source: "func main() { print(1 / 0); }", DeadlineMillis: 120_000},
+		Engine:         "native",
+	}
+	first, firstBody := postJSON(t, ts, "/v1/run", req)
+	if first.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", first.StatusCode, firstBody)
+	}
+	var env api.Envelope
+	if err := json.Unmarshal(firstBody, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil || env.Error.Code != api.CodeRuntimeError {
+		t.Fatalf("error = %+v, want %s", env.Error, api.CodeRuntimeError)
+	}
+	if !strings.Contains(env.Error.Message, "division by zero") {
+		t.Errorf("trap message = %q", env.Error.Message)
+	}
+	// Traps are deterministic: the retry replays the verdict from cache.
+	second, secondBody := postJSON(t, ts, "/v1/run", req)
+	if second.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("second status %d: %s", second.StatusCode, secondBody)
+	}
+	if got := second.Header.Get("X-Oicd-Run-Cache"); got != "hit" {
+		t.Errorf("trap retry X-Oicd-Run-Cache = %q, want hit", got)
+	}
+	if string(secondBody) != string(firstBody) {
+		t.Errorf("cached trap not byte-identical:\nfirst:  %s\nsecond: %s", firstBody, secondBody)
+	}
+}

@@ -9,7 +9,9 @@
 //
 //	POST   /v1/compile      — diagnostics, inlining decisions, CompileStats
 //	POST   /v1/explain      — one field's typed Decision with evidence chain
-//	POST   /v1/run          — VM execution: counters, optional profile/output
+//	POST   /v1/run          — execution: VM counters (optional profile) or
+//	                          the native tier's real measurements, with
+//	                          optional program output either way
 //	POST   /v1/session      — pin an incremental session (cold compile)
 //	PATCH  /v1/session/{id} — recompile the session at edited source,
 //	                          reusing prior analysis/optimization where the
@@ -54,6 +56,12 @@ type Config struct {
 	SessionEntries int
 	// SessionTTL expires sessions idle this long (default 15m).
 	SessionTTL time.Duration
+	// NativeCacheEntries bounds the native-run result cache's LRU
+	// (default 64). Native executions are content-addressed like
+	// compilations — a go build per miss is too expensive to repeat — but
+	// each entry also pins an envelope with program output, so the bound
+	// is smaller than the compile cache's.
+	NativeCacheEntries int
 	// AnalysisJobs bounds one request's parallel-solver worker count
 	// (default GOMAXPROCS). A request holds a single admission-pool token
 	// however many analysis workers it runs, so this cap is what keeps a
@@ -74,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.NativeCacheEntries <= 0 {
+		c.NativeCacheEntries = 64
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 10 * time.Second
@@ -109,6 +120,11 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 
+	// nativeRuns caches native executions' response envelopes, keyed by
+	// compile key ⊕ run knobs (nativeRunKey). Kept separate from results
+	// so native traffic can never evict compilations.
+	nativeRuns *cache
+
 	// workers is the bounded pool: holding a token = doing compiler or VM
 	// work. queued counts requests waiting for a token; beyond
 	// cfg.QueueDepth, acquire sheds instead of queueing.
@@ -120,11 +136,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		results:  newCache(cfg.CacheEntries),
-		sessions: newSessionStore(cfg.SessionEntries, cfg.SessionTTL),
-		workers:  make(chan struct{}, cfg.PoolSize),
-		mux:      http.NewServeMux(),
+		cfg:        cfg,
+		results:    newCache(cfg.CacheEntries),
+		nativeRuns: newCache(cfg.NativeCacheEntries),
+		sessions:   newSessionStore(cfg.SessionEntries, cfg.SessionTTL),
+		workers:    make(chan struct{}, cfg.PoolSize),
+		mux:        http.NewServeMux(),
 	}
 	s.metrics = newMetrics(s)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)

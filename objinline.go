@@ -86,6 +86,64 @@ func ParseMode(s string) (Mode, error) {
 	return 0, fmt.Errorf("objinline: unknown mode %q (want direct, baseline, or inline)", s)
 }
 
+// Engine selects the execution tier a compiled program runs on: the
+// instrumented reference VM (deterministic cycle cost model, counters,
+// profiling, cache simulation) or the native tier, which emits the
+// optimized IR as a Go package, builds it with the go toolchain, and
+// runs the binary on the hardware, reporting real wall time and Go
+// allocator deltas. Both engines produce byte-identical program output
+// and identical runtime-error text.
+type Engine int
+
+// Execution engines. The zero value defers: a run with EngineDefault
+// uses the Config.Engine the program was compiled with, and a config
+// with EngineDefault means the VM — so existing code that never
+// mentions engines keeps its exact behavior.
+const (
+	EngineDefault Engine = iota
+	EngineVM
+	EngineNative
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineVM:
+		return "vm"
+	case EngineNative:
+		return "native"
+	}
+	return "default"
+}
+
+// ParseEngine parses an engine name as rendered by Engine.String. The
+// empty string parses as EngineDefault, so wire formats can omit the
+// field entirely.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "default":
+		return EngineDefault, nil
+	case "vm":
+		return EngineVM, nil
+	case "native":
+		return EngineNative, nil
+	}
+	return 0, fmt.Errorf("objinline: unknown engine %q (want vm or native)", s)
+}
+
+// MarshalText renders the engine name, making Engine fields
+// JSON-friendly ("vm", "native", or "default").
+func (e Engine) MarshalText() ([]byte, error) { return []byte(e.String()), nil }
+
+// UnmarshalText parses an engine name via ParseEngine.
+func (e *Engine) UnmarshalText(b []byte) error {
+	v, err := ParseEngine(string(b))
+	if err != nil {
+		return err
+	}
+	*e = v
+	return nil
+}
+
 // Solver names for Config.Solver.
 const (
 	// SolverWorklist is the dependency-driven fixpoint solver (the
@@ -119,6 +177,13 @@ type Config struct {
 	// output — the parallel solver is byte-identical at any worker count —
 	// so it is deliberately not part of Fingerprint.
 	Jobs int
+	// Engine is the default execution tier for the compiled program's
+	// runs (EngineDefault means the VM); RunOptions.Engine overrides it
+	// per run. The engine never changes what is compiled — both tiers
+	// execute the same optimized IR — so, like Jobs, it is deliberately
+	// not part of Fingerprint: selecting the native tier must not split
+	// the compile cache.
+	Engine Engine
 }
 
 // Fingerprint returns a stable, versioned, canonical encoding of the
@@ -180,6 +245,9 @@ func WriteChromeTrace(w io.Writer, events []PhaseStat) error {
 // Program is a compiled Mini-ICC program, ready to run.
 type Program struct {
 	c *pipeline.Compiled
+	// engine is the Config.Engine default for runs that leave
+	// RunOptions.Engine at EngineDefault.
+	engine Engine
 
 	// Profiled-run state from the most recent Run with Profile set.
 	lastProfile  *vm.Profile
@@ -206,7 +274,7 @@ func CompileContext(ctx context.Context, filename, src string, cfg Config, opts 
 	if err != nil {
 		return nil, err
 	}
-	return &Program{c: c}, nil
+	return &Program{c: c, engine: cfg.Engine}, nil
 }
 
 // toPipeline maps the public configuration (plus options) onto the
@@ -257,8 +325,9 @@ func (c Config) toPipeline(opts []Option) (pipeline.Config, error) {
 // oicd server holds one mutex per session). Patch invalidates Programs
 // returned by earlier calls on the same session.
 type Session struct {
-	s *pipeline.Session
-	p *Program
+	s      *pipeline.Session
+	p      *Program
+	engine Engine
 }
 
 // IncrementalStats reports how a Session.Patch was absorbed: the tier
@@ -302,7 +371,7 @@ func NewSessionContext(ctx context.Context, filename, src string, cfg Config, op
 	if err != nil {
 		return nil, err
 	}
-	return &Session{s: ps, p: &Program{c: c}}, nil
+	return &Session{s: ps, p: &Program{c: c, engine: cfg.Engine}, engine: cfg.Engine}, nil
 }
 
 // Program returns the session's current compiled program.
@@ -325,7 +394,7 @@ func (s *Session) PatchContext(ctx context.Context, src string) (*Program, Incre
 	if err != nil {
 		return nil, st, err
 	}
-	s.p = &Program{c: c}
+	s.p = &Program{c: c, engine: s.engine}
 	return s.p, st, nil
 }
 
@@ -361,6 +430,22 @@ type RunOptions struct {
 	// compiled program many times (the oicd server) use it to keep each
 	// run's timing separate from the shared compile-time sink.
 	Trace *TraceSink
+
+	// Engine selects the execution tier for this run; EngineDefault uses
+	// the Config.Engine the program was compiled with (the VM when that
+	// too is default). The VM-only knobs above (MaxSteps, Cache, Profile,
+	// Trace) apply only when the VM runs; combining Profile with the
+	// native engine is an error rather than a silent no-op.
+	Engine Engine
+	// NativeReps, for the native engine, is how many times the program
+	// body executes inside one process for measurement stability
+	// (printing is muted after the first repetition; the reported wall
+	// time and allocator deltas cover all repetitions). 0 means 1.
+	NativeReps int
+	// EmitDir, when non-empty, keeps the native engine's emitted Go
+	// package (main.go, go.mod, binary) in this directory for inspection
+	// instead of a temp dir that is removed after the run.
+	EmitDir string
 
 	// Deprecated: set Cache instead. These per-field overrides predate
 	// CacheConfig and are honored only when Cache is nil.
@@ -408,16 +493,66 @@ func metricsFrom(c vm.Counters) Metrics {
 	}
 }
 
-// Run executes the program.
-func (p *Program) Run(opts RunOptions) (Metrics, error) {
-	return p.RunContext(context.Background(), opts)
+// NativeMetrics is the native engine's measurement record: real wall
+// time and Go allocator deltas stand in for the VM's modeled cycles and
+// allocation counters. All measurement fields cover every repetition of
+// the run (see RunOptions.NativeReps).
+type NativeMetrics struct {
+	// WallNanos is the emitted binary's run wall time.
+	WallNanos int64 `json:"wall_nanos"`
+	// BuildNanos is the emit + go build wall time.
+	BuildNanos int64 `json:"build_nanos"`
+	// Reps is how many times the program body executed.
+	Reps int `json:"reps"`
+	// Mallocs is the runtime.MemStats.Mallocs delta across the run.
+	Mallocs uint64 `json:"mallocs"`
+	// AllocBytes is the runtime.MemStats.TotalAlloc delta across the run.
+	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
-// RunContext is Run with cancellation: the VM's step loop polls the
-// context every few thousand instructions, so an infinite loop (or any
-// runaway program) returns an error wrapping ctx.Err() within
-// microseconds of the deadline instead of running to the step limit.
-func (p *Program) RunContext(ctx context.Context, opts RunOptions) (Metrics, error) {
+// Result is one execution's outcome on either engine: Engine says which
+// tier ran, Metrics is populated by the VM, Native by the native tier.
+// JSON-serializable (Engine renders as its name).
+type Result struct {
+	Engine  Engine         `json:"engine"`
+	Metrics *Metrics       `json:"metrics,omitempty"`
+	Native  *NativeMetrics `json:"native,omitempty"`
+}
+
+// Execute runs the program on the selected engine (RunOptions.Engine,
+// falling back to the Config.Engine the program was compiled with, then
+// the VM). On the VM the context is polled every few thousand
+// instructions, so an infinite loop returns an error wrapping ctx.Err()
+// within microseconds of the deadline; on the native engine the context
+// bounds both the go build and the process, which is killed on expiry.
+// A Mini-ICC runtime failure returns an error whose text is identical
+// on both engines ("runtime error[ at pos]: msg").
+func (p *Program) Execute(ctx context.Context, opts RunOptions) (Result, error) {
+	engine := opts.Engine
+	if engine == EngineDefault {
+		engine = p.engine
+	}
+	if engine == EngineNative {
+		if opts.Profile {
+			return Result{}, fmt.Errorf("objinline: RunOptions.Profile requires the VM engine (site attribution is VM instrumentation)")
+		}
+		res, err := p.c.Execute(ctx, pipeline.ExecOptions{
+			Run:     pipeline.RunOptions{Out: opts.Output},
+			Engine:  pipeline.EngineNative,
+			Reps:    opts.NativeReps,
+			EmitDir: opts.EmitDir,
+		})
+		if err != nil {
+			return Result{Engine: EngineNative}, err
+		}
+		return Result{Engine: EngineNative, Native: &NativeMetrics{
+			WallNanos:  res.Native.WallNanos,
+			BuildNanos: res.Native.BuildNanos,
+			Reps:       res.Native.Reps,
+			Mallocs:    res.Native.Mallocs,
+			AllocBytes: res.Native.AllocBytes,
+		}}, nil
+	}
 	ro := pipeline.RunOptions{Out: opts.Output, MaxSteps: opts.MaxSteps, Trace: opts.Trace}
 	if !opts.DisableCache {
 		cfg := cachesim.DefaultConfig
@@ -445,13 +580,39 @@ func (p *Program) RunContext(ctx context.Context, opts RunOptions) (Metrics, err
 	}
 	counters, err := p.c.RunContext(ctx, ro)
 	if err != nil {
-		return Metrics{}, err
+		return Result{Engine: EngineVM}, err
 	}
 	if ro.Profile != nil {
 		p.lastProfile = ro.Profile
 		p.lastCounters = counters
 	}
-	return metricsFrom(counters), nil
+	m := metricsFrom(counters)
+	return Result{Engine: EngineVM, Metrics: &m}, nil
+}
+
+// Run executes the program on the VM.
+//
+// Deprecated: Run predates the engine API; it ignores RunOptions.Engine
+// and always uses the VM, returning only the VM's Metrics. New code
+// should call Execute, which selects the engine and returns a unified
+// Result. Run remains fully supported as a thin wrapper.
+func (p *Program) Run(opts RunOptions) (Metrics, error) {
+	return p.RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: the VM's step loop polls the
+// context every few thousand instructions, so an infinite loop (or any
+// runaway program) returns an error wrapping ctx.Err() within
+// microseconds of the deadline instead of running to the step limit.
+//
+// Deprecated: see Run; new code should call Execute.
+func (p *Program) RunContext(ctx context.Context, opts RunOptions) (Metrics, error) {
+	opts.Engine = EngineVM
+	res, err := p.Execute(ctx, opts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return *res.Metrics, nil
 }
 
 // SiteProfile is one allocation site's aggregated run attribution.
