@@ -2,7 +2,11 @@
 // /v1/explain, and /v1/run against a content-addressed result cache with
 // singleflight deduplication, a bounded worker pool with load shedding,
 // and per-request deadlines enforced through the compiler and VM. See
-// docs/SERVER.md for the API.
+// docs/SERVER.md for the API and docs/OBSERVABILITY.md for operating it:
+// structured access logs (-log-format, -log-level), request tracing
+// behind /debug/requests, Prometheus metrics at
+// /metrics?format=prometheus, and pprof on a separate -debug-addr
+// listener so profiles never ship on the serving port.
 package main
 
 import (
@@ -11,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +50,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	sessionEntries := fs.Int("session-entries", 0, "live incremental-session LRU bound (0 = 64)")
 	sessionTTL := fs.Duration("session-ttl", 0, "idle incremental sessions expire after this long (0 = 15m)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget for in-flight requests")
+	requestRing := fs.Int("request-ring", 0, "per-request trace ring behind /debug/requests (0 = 128, negative disables)")
+	logFormat := fs.String("log-format", "text", "access/operational log format: text or json")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error (access logs emit at info)")
+	debugAddr := fs.String("debug-addr", "", "listen address for the debug surface (pprof + /debug/requests); empty disables it")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -53,6 +62,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "oicd: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "oicd: %v\n", err)
 		return 2
 	}
 
@@ -67,6 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		NativeCacheEntries: *nativeCacheEntries,
 		SessionEntries:     *sessionEntries,
 		SessionTTL:         *sessionTTL,
+		RequestRingEntries: *requestRing,
+		AccessLog:          logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -77,6 +93,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(stdout, "oicd: listening on http://%s\n", ln.Addr())
+
+	// The debug surface (pprof, request introspection) binds its own
+	// listener so profiles and traces never ship on the serving port —
+	// operators firewall or port-forward it separately.
+	var dhs *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "oicd: debug listener: %v\n", err)
+			hs.Close()
+			return 1
+		}
+		dhs = &http.Server{Handler: srv.DebugHandler()}
+		go func() {
+			if err := dhs.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "oicd: debug surface on http://%s\n", dln.Addr())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -87,12 +123,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return 1
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting, then wait out in-flight requests
-	// (each holds its handler goroutine, so Shutdown returns only once
-	// they finish) up to the grace budget.
+	// Graceful shutdown: flip /healthz to 503 first so load-balancer
+	// probes over kept-alive connections stop routing here, then stop
+	// accepting and wait out in-flight requests (each holds its handler
+	// goroutine, so Shutdown returns only once they finish) up to the
+	// grace budget.
+	srv.BeginDrain()
 	fmt.Fprintln(stdout, "oicd: shutting down, draining in-flight requests")
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	if dhs != nil {
+		dhs.Close()
+	}
 	if err := hs.Shutdown(sctx); err != nil {
 		fmt.Fprintf(stderr, "oicd: drain incomplete: %v\n", err)
 		hs.Close()
@@ -103,4 +145,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	srv.Close()
 	fmt.Fprintln(stdout, "oicd: bye")
 	return 0
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags. Logs go to stderr: stdout stays a clean line protocol (listen
+// addresses, lifecycle messages) for supervisors and tests.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
+	}
 }

@@ -86,4 +86,127 @@ func TestDaemonFlagErrors(t *testing.T) {
 	if code := run(context.Background(), []string{"extra"}, &stdout, &stderr, nil); code != 2 {
 		t.Errorf("stray arg: exit %d, want 2", code)
 	}
+	if code := run(context.Background(), []string{"-log-format", "xml"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("bad log format: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-log-level", "loud"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("bad log level: exit %d, want 2", code)
+	}
+}
+
+// TestDaemonDebugSurface boots with -debug-addr and checks the debug
+// listener serves pprof and request introspection while the serving port
+// does not expose pprof, and that JSON access logs land on stderr with
+// the request id the response carried.
+func TestDaemonDebugSurface(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+			"-log-format", "json",
+		}, &stdout, &stderr, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exited:
+		t.Fatalf("daemon exited early with %d: %s", code, stderr.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	// The debug address is announced on stdout before ready is signaled.
+	var debugBase string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "oicd: debug surface on "); ok {
+			debugBase = rest
+		}
+	}
+	if debugBase == "" {
+		t.Fatalf("no debug surface announcement on stdout: %q", stdout.String())
+	}
+
+	body, _ := json.Marshal(map[string]any{"source": "func main() { print(1); }"})
+	resp, err := http.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	reqID := resp.Header.Get("X-Oicd-Request-Id")
+	if reqID == "" {
+		t.Fatal("compile response missing X-Oicd-Request-Id")
+	}
+
+	for path, wantType := range map[string]string{
+		"/debug/pprof/cmdline": "", // pprof responds 200
+		"/debug/requests":      "application/json",
+	} {
+		resp, err := http.Get(debugBase + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if wantType != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), wantType) {
+			t.Errorf("GET %s: content-type %q, want %q", path, resp.Header.Get("Content-Type"), wantType)
+		}
+	}
+	// pprof must not be reachable on the serving port.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof exposed on the serving port")
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// The access log is JSON on stderr; find the compile record and check
+	// its request id matches the response header.
+	var logged bool
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Msg       string `json:"msg"`
+			RequestID string `json:"request_id"`
+			Route     string `json:"route"`
+			Status    int    `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue
+		}
+		if rec.Msg == "request" && rec.Route == "/v1/compile" {
+			logged = true
+			if rec.RequestID != reqID {
+				t.Errorf("access log request_id = %q, response header = %q", rec.RequestID, reqID)
+			}
+			if rec.Status != http.StatusOK {
+				t.Errorf("access log status = %d, want 200", rec.Status)
+			}
+		}
+	}
+	if !logged {
+		t.Errorf("no access-log record for /v1/compile on stderr: %q", stderr.String())
+	}
 }

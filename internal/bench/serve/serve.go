@@ -4,6 +4,14 @@
 // warm (every request the same key, served from the content-addressed
 // cache), verifying on the way that warm responses are byte-identical to
 // the cold ones that populated them. objbench exposes it as -fig serve.
+//
+// The run also closes the observability loop: after each phase it scrapes
+// the server's own /metrics?format=prometheus histograms and reports
+// server-side p50/p95/p99 next to the client-measured ones. The two views
+// measure the same requests through different instruments — wall clocks
+// around the HTTP call vs log-bucketed histograms inside the handler — so
+// they must agree within the histograms' bucket resolution; a run where
+// they do not is flagged loudly, because one of the instruments is lying.
 package serve
 
 import (
@@ -11,15 +19,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"objinline/internal/bench"
+	"objinline/internal/obs"
 	"objinline/internal/server"
 	"objinline/internal/server/api"
 )
@@ -48,7 +60,18 @@ type PhaseStats struct {
 	Duration   time.Duration `json:"duration_ns"`
 	Throughput float64       `json:"throughput_rps"`
 	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
 	P99        time.Duration `json:"p99_ns"`
+}
+
+// ServerStats is one phase's latency distribution as the server itself
+// reports it — quantiles estimated from the Prometheus histogram scrape
+// for exactly that phase's requests (cold = the miss series, warm = the
+// hit series).
+type ServerStats struct {
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
 }
 
 // Result is one load run's report.
@@ -59,6 +82,14 @@ type Result struct {
 
 	Cold PhaseStats `json:"cold"`
 	Warm PhaseStats `json:"warm"`
+
+	// ColdServer/WarmServer are the server's own view of each phase,
+	// scraped from /metrics?format=prometheus; LatencyAgree reports that
+	// every server quantile agrees with its client counterpart within the
+	// histogram's bucket resolution plus client-side overhead.
+	ColdServer   ServerStats `json:"cold_server"`
+	WarmServer   ServerStats `json:"warm_server"`
+	LatencyAgree bool        `json:"latency_agree"`
 
 	// Speedup is warm over cold throughput (the acceptance floor is 5x).
 	Speedup float64 `json:"speedup"`
@@ -180,6 +211,7 @@ func Run(opts Options) (*Result, error) {
 			Requests: n,
 			Duration: elapsed,
 			P50:      latencies[n/2],
+			P95:      latencies[n*95/100],
 			P99:      latencies[n*99/100],
 		}
 		for _, e := range errs {
@@ -199,6 +231,14 @@ func Run(opts Options) (*Result, error) {
 		status, _, _, err := post(fmt.Sprintf("%s-%d.icc", t.name, i), t.source)
 		return err == nil && status == http.StatusOK
 	})
+	// Scrape the server's view of the cold phase before the prewarm adds
+	// more misses: at this point the miss series holds exactly the cold
+	// requests.
+	coldServer, err := scrapeQuantiles(client, ts.URL, "miss")
+	if err != nil {
+		return nil, fmt.Errorf("serve: cold scrape: %w", err)
+	}
+	res.ColdServer = coldServer
 
 	// Prewarm: populate the warm keys and record the cold bodies the warm
 	// phase must replay byte for byte.
@@ -230,23 +270,153 @@ func Run(opts Options) (*Result, error) {
 		return true
 	})
 
+	// The hit series holds exactly the warm phase's requests (the prewarm
+	// ones were misses), so this scrape is the warm phase server-side.
+	warmServer, err := scrapeQuantiles(client, ts.URL, "hit")
+	if err != nil {
+		return nil, fmt.Errorf("serve: warm scrape: %w", err)
+	}
+	res.WarmServer = warmServer
+
 	res.Speedup = res.Warm.Throughput / res.Cold.Throughput
 	res.HitRate = float64(hits.Load()) / float64(opts.Requests)
 	res.Identical = !mismatch.Load()
 	res.Shed = int(shed.Load())
+	res.LatencyAgree = quantilesAgree(res.Cold, res.ColdServer, opts.Concurrency) &&
+		quantilesAgree(res.Warm, res.WarmServer, opts.Concurrency)
 	return res, nil
 }
 
-// Print renders the result as the -fig serve table.
+// scrapeQuantiles pulls /metrics?format=prometheus and estimates
+// p50/p95/p99 for the /v1/compile series with the given cache status,
+// using the same interpolation the server's own /metrics percentiles use.
+func scrapeQuantiles(client *http.Client, baseURL, cache string) (ServerStats, error) {
+	resp, err := client.Get(baseURL + "/metrics?format=prometheus")
+	if err != nil {
+		return ServerStats{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ServerStats{}, fmt.Errorf("scrape status %d", resp.StatusCode)
+	}
+	les, cum, err := parseBuckets(string(body), "/v1/compile", cache)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return ServerStats{
+		P50: obs.QuantileFromScrape(les, cum, 0.50),
+		P95: obs.QuantileFromScrape(les, cum, 0.95),
+		P99: obs.QuantileFromScrape(les, cum, 0.99),
+	}, nil
+}
+
+// parseBuckets extracts the cumulative histogram buckets for one
+// {endpoint, cache} pair from an exposition body, summing across the
+// remaining labels (engine, tier). Boundaries come back in seconds,
+// ascending, +Inf last.
+func parseBuckets(body, endpoint, cache string) (les []float64, cum []uint64, err error) {
+	const series = "oicd_request_duration_seconds_bucket{"
+	byLe := make(map[float64]uint64)
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series)
+		if !ok {
+			continue
+		}
+		labels, value, ok := strings.Cut(rest, "} ")
+		if !ok {
+			continue
+		}
+		if !strings.Contains(labels, `endpoint="`+endpoint+`"`) ||
+			!strings.Contains(labels, `cache="`+cache+`"`) {
+			continue
+		}
+		leStr := ""
+		for _, kv := range strings.Split(labels, ",") {
+			if v, ok := strings.CutPrefix(kv, `le="`); ok {
+				leStr = strings.TrimSuffix(v, `"`)
+			}
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				return nil, nil, fmt.Errorf("bad le %q: %w", leStr, err)
+			}
+		}
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad bucket value %q: %w", value, err)
+		}
+		byLe[le] += n
+	}
+	if len(byLe) == 0 {
+		return nil, nil, fmt.Errorf("no %s series for endpoint=%s cache=%s", series, endpoint, cache)
+	}
+	for le := range byLe {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	for _, le := range les {
+		cum = append(cum, byLe[le])
+	}
+	return les, cum, nil
+}
+
+// quantilesAgree checks the client and server views of one phase. The
+// two instruments differ in three bounded ways: a bucket estimate can
+// sit up to one bucket width (2×) from the true order statistic; the
+// client's clock covers HTTP overhead the server's does not; and when
+// the box has fewer cores than client workers, requests queue upstream
+// of the handler — in the kernel's socket queue and the runtime
+// scheduler — where the client's clock runs but the server's cannot,
+// dilating client latency by up to concurrency/GOMAXPROCS. The
+// tolerance is the product of those bounds plus an absolute floor for
+// the microsecond-scale warm phase; outside it, one instrument is
+// broken.
+func quantilesAgree(client PhaseStats, srv ServerStats, concurrency int) bool {
+	const slack = 2 * time.Millisecond
+	ratio := 3.0
+	if over := float64(concurrency) / float64(runtime.GOMAXPROCS(0)); over > 1 {
+		ratio *= over
+	}
+	pairs := [][2]time.Duration{
+		{client.P50, srv.P50}, {client.P95, srv.P95}, {client.P99, srv.P99},
+	}
+	for _, p := range pairs {
+		c, s := float64(p[0]), float64(p[1])
+		if p[0]-p[1] <= slack && p[1]-p[0] <= slack {
+			continue
+		}
+		if s == 0 || c/s > ratio || s/c > ratio {
+			return false
+		}
+	}
+	return true
+}
+
+// Print renders the result as the -fig serve table: each phase's
+// throughput, then the client-measured and server-reported latency
+// quantiles side by side, flagging loudly when the two instruments
+// disagree beyond the histograms' resolution.
 func Print(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "oicd service throughput (scale %s, concurrency %d, %d requests/phase, pool %d)\n",
 		r.Scale, r.Concurrency, r.Cold.Requests, runtime.GOMAXPROCS(0))
-	row := func(name string, st PhaseStats) {
-		fmt.Fprintf(w, "  %-5s %8.1f req/s   p50 %8s   p99 %8s   errors %d\n",
-			name, st.Throughput, st.P50.Round(10*time.Microsecond), st.P99.Round(10*time.Microsecond), st.Errors)
+	row := func(name string, st PhaseStats, sv ServerStats) {
+		fmt.Fprintf(w, "  %-5s %8.1f req/s   errors %d\n", name, st.Throughput, st.Errors)
+		rnd := func(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+		fmt.Fprintf(w, "        client  p50 %8s   p95 %8s   p99 %8s\n",
+			rnd(st.P50), rnd(st.P95), rnd(st.P99))
+		fmt.Fprintf(w, "        server  p50 %8s   p95 %8s   p99 %8s\n",
+			rnd(sv.P50), rnd(sv.P95), rnd(sv.P99))
 	}
-	row("cold", r.Cold)
-	row("warm", r.Warm)
+	row("cold", r.Cold, r.ColdServer)
+	row("warm", r.Warm, r.WarmServer)
 	fmt.Fprintf(w, "  warm/cold speedup %.1fx   hit rate %.0f%%   byte-identical %v   shed %d\n",
 		r.Speedup, 100*r.HitRate, r.Identical, r.Shed)
+	if !r.LatencyAgree {
+		fmt.Fprintln(w, "  !! LATENCY DISAGREEMENT: server histogram quantiles do not match client-measured latencies")
+	}
 }

@@ -34,4 +34,11 @@ func TestRunSmall(t *testing.T) {
 	if res.Warm.Throughput <= res.Cold.Throughput {
 		t.Errorf("warm throughput %.1f not above cold %.1f", res.Warm.Throughput, res.Cold.Throughput)
 	}
+	if res.ColdServer.P50 == 0 || res.WarmServer.P50 == 0 {
+		t.Errorf("server-side quantiles missing: cold %+v warm %+v", res.ColdServer, res.WarmServer)
+	}
+	if !res.LatencyAgree {
+		t.Errorf("server and client latency views disagree: cold client %+v server %+v, warm client %+v server %+v",
+			res.Cold, res.ColdServer, res.Warm, res.WarmServer)
+	}
 }

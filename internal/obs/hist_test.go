@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Microsecond, 0},
+		{10 * time.Microsecond, 0},
+		{10*time.Microsecond + 1, 1},
+		{20 * time.Microsecond, 1},
+		{40 * time.Microsecond, 2},
+		{41 * time.Microsecond, 3},
+		{histMinBound << (histBounds - 1), histBounds - 1},
+		{(histMinBound << (histBounds - 1)) + 1, histBounds},
+		{24 * time.Hour, histBounds},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsMatchIndex(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != histBounds {
+		t.Fatalf("got %d bounds, want %d", len(bounds), histBounds)
+	}
+	for i, b := range bounds {
+		// A value exactly at a boundary must land in that boundary's bucket.
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(bound[%d]=%v) = %d", i, b, got)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks the count/sum/bucket invariants hold once writers quiesce. Run
+// under -race this also proves the lock-free Observe path is sound.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*i%5000) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if s.SumNanos <= 0 {
+		t.Errorf("sum = %d, want > 0", s.SumNanos)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", q)
+	}
+	// 100 observations at 1ms: every quantile must land within the
+	// bucket that contains 1ms (640µs..1.28ms).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		lo, hi := 640*time.Microsecond, 1280*time.Microsecond
+		if got < lo || got > hi {
+			t.Errorf("p%v = %v, want within bucket [%v, %v]", q*100, got, lo, hi)
+		}
+	}
+	// Monotonicity across quantiles of a mixed distribution.
+	var m Histogram
+	for i := 1; i <= 1000; i++ {
+		m.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	ms := m.Snapshot()
+	p50, p95, p99 := ms.Quantile(0.5), ms.Quantile(0.95), ms.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// Interpolated estimates must sit within 2x of the true order
+	// statistic (the documented bucket-resolution bound).
+	trueP50 := 500 * 100 * time.Microsecond
+	if p50 > 2*trueP50 || p50 < trueP50/2 {
+		t.Errorf("p50 = %v, true %v: outside the 2x bound", p50, trueP50)
+	}
+}
+
+func TestQuantileOverflowClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(300 * time.Hour)
+	want := histMinBound << (histBounds - 1)
+	if got := h.Snapshot().Quantile(0.99); got != want {
+		t.Errorf("overflow p99 = %v, want clamp to %v", got, want)
+	}
+}
+
+// TestQuantileFromScrapeMatchesSnapshot checks the scrape-side estimator
+// agrees with the server-side one on the same data — the property the
+// serve benchmark's comparison rests on.
+func TestQuantileFromScrapeMatchesSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 500; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	s := h.Snapshot()
+
+	bounds := BucketBounds()
+	les := make([]float64, 0, numBuckets)
+	cum := make([]uint64, 0, numBuckets)
+	var running uint64
+	for i, b := range bounds {
+		running += s.Counts[i]
+		les = append(les, b.Seconds())
+		cum = append(cum, running)
+	}
+	running += s.Counts[histBounds]
+	les = append(les, math.Inf(1))
+	cum = append(cum, running)
+
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := s.Quantile(q)
+		got := QuantileFromScrape(les, cum, q)
+		diff := want - got
+		if diff < 0 {
+			diff = -diff
+		}
+		// Identical interpolation over float seconds vs integer nanos:
+		// tolerate rounding only.
+		if diff > time.Microsecond {
+			t.Errorf("q=%v: scrape %v vs snapshot %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileFromScrapeDegenerate(t *testing.T) {
+	if got := QuantileFromScrape(nil, nil, 0.5); got != 0 {
+		t.Errorf("empty scrape = %v", got)
+	}
+	if got := QuantileFromScrape([]float64{0.1}, []uint64{0}, 0.5); got != 0 {
+		t.Errorf("zero-count scrape = %v", got)
+	}
+	if got := QuantileFromScrape([]float64{0.1, 0.2}, []uint64{1}, 0.5); got != 0 {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec()
+	a := Labels{Endpoint: "/v1/compile", Cache: "hit", Engine: "none", Tier: "none"}
+	b := Labels{Endpoint: "/v1/compile", Cache: "miss", Engine: "none", Tier: "none"}
+	c := Labels{Endpoint: "/v1/run", Cache: "hit", Engine: "vm", Tier: "none"}
+	v.Observe(a, time.Millisecond)
+	v.Observe(a, time.Millisecond)
+	v.Observe(b, 10*time.Millisecond)
+	v.Observe(c, time.Second)
+
+	if got := v.Get(a).Snapshot().Count; got != 2 {
+		t.Errorf("cell a count = %d, want 2", got)
+	}
+	snaps := v.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d cells, want 3", len(snaps))
+	}
+	// Deterministic order: endpoint, then cache.
+	if snaps[0].Labels != a || snaps[1].Labels != b || snaps[2].Labels != c {
+		t.Errorf("snapshot order = %+v", snaps)
+	}
+	// Endpoint aggregates across the other labels.
+	if got := v.Endpoint("/v1/compile").Count; got != 3 {
+		t.Errorf("endpoint aggregate count = %d, want 3", got)
+	}
+	if got := v.Endpoint("/nope").Count; got != 0 {
+		t.Errorf("unknown endpoint count = %d", got)
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	v := NewHistogramVec()
+	labels := []Labels{
+		{Endpoint: "/v1/compile", Cache: "hit"},
+		{Endpoint: "/v1/compile", Cache: "miss"},
+		{Endpoint: "/v1/run", Engine: "vm"},
+		{Endpoint: "/v1/run", Engine: "native"},
+	}
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v.Observe(labels[(w+i)%len(labels)], time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range v.Snapshots() {
+		total += s.Snapshot.Count
+	}
+	if total != workers*perWorker {
+		t.Errorf("total observations = %d, want %d", total, workers*perWorker)
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if SanitizeRequestID(id) != id {
+			t.Fatalf("minted id %q does not survive sanitization", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", ""},
+		{"abc-123_XY.z", "abc-123_XY.z"},
+		{"has space", ""},
+		{"tab\there", ""},
+		{"newline\n", ""},
+		{`quote"inside`, ""},
+		{"ünïcode", ""},
+		{"control\x01", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeRequestID(c.in); got != c.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(&RequestRecord{ID: fmt.Sprintf("r%d", i)})
+	}
+	if got := r.Total(); got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want capacity 3", len(snap))
+	}
+	// Most recent first; r0 and r1 evicted.
+	for i, want := range []string{"r4", "r3", "r2"} {
+		if snap[i].ID != want {
+			t.Errorf("snap[%d] = %q, want %q", i, snap[i].ID, want)
+		}
+	}
+	if r.Get("r0") != nil || r.Get("r1") != nil {
+		t.Error("evicted records still reachable by id")
+	}
+	if r.Get("r4") == nil {
+		t.Error("live record not reachable by id")
+	}
+	if r.Get("never") != nil {
+		t.Error("unknown id returned a record")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Add(&RequestRecord{ID: "a"})
+	r.Add(&RequestRecord{ID: "b"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "b" || snap[1].ID != "a" {
+		t.Errorf("partial snapshot = %+v", snap)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Add(&RequestRecord{ID: "x"})
+	r.Add(&RequestRecord{ID: "y"})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].ID != "y" {
+		t.Errorf("capacity-1 ring snapshot = %+v", snap)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		go func() {
+			for i := 0; i < 200; i++ {
+				r.Add(&RequestRecord{ID: fmt.Sprintf("w%d-%d", w, i)})
+				r.Snapshot()
+				r.Get("w0-0")
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := r.Total(); got != 800 {
+		t.Errorf("total = %d, want 800", got)
+	}
+	if got := len(r.Snapshot()); got != 16 {
+		t.Errorf("snapshot len = %d, want 16", got)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4), written by hand: the
+// repository's no-new-dependencies rule means no client_golang, and the
+// format is three line shapes — `# HELP`, `# TYPE`, and
+// `name{labels} value` — which a scraper, the CI well-formedness check,
+// and the serve benchmark's parser all agree on. Output is fully
+// deterministic for a given state: metrics sort by name, histogram
+// cells by label tuple.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricNamespace prefixes every exposed series.
+const MetricNamespace = "oicd"
+
+// CounterValue is one flat server counter or gauge handed to
+// WritePrometheus (the server collects them from its expvar map).
+type CounterValue struct {
+	Name  string
+	Value float64
+	// Gauge marks point-in-time values (queue depth, cache entries);
+	// everything else is exposed as a counter.
+	Gauge bool
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a sample value. Integral values print without a
+// decimal point (matching what scrape parsers and the CI regex expect);
+// non-integral values use the shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the flat counters plus the latency histogram
+// vec in exposition format. The histogram is exposed as
+// oicd_request_duration_seconds with labels
+// {endpoint, cache, engine, tier} and the fixed log-spaced `le`
+// boundaries of BucketBounds.
+func WritePrometheus(w io.Writer, counters []CounterValue, latency *HistogramVec) {
+	sorted := make([]CounterValue, len(counters))
+	copy(sorted, counters)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, c := range sorted {
+		name := MetricNamespace + "_" + c.Name
+		kind := "counter"
+		if c.Gauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", name, counterHelp(c.Name))
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(c.Value))
+	}
+
+	if latency == nil {
+		return
+	}
+	cells := latency.Snapshots()
+	if len(cells) == 0 {
+		return
+	}
+	name := MetricNamespace + "_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Request latency by endpoint, cache status, engine, and session tier.\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	bounds := BucketBounds()
+	for _, cell := range cells {
+		l := cell.Labels
+		base := fmt.Sprintf(`endpoint="%s",cache="%s",engine="%s",tier="%s"`,
+			escapeLabel(l.Endpoint), escapeLabel(l.Cache), escapeLabel(l.Engine), escapeLabel(l.Tier))
+		var cum uint64
+		for i, b := range bounds {
+			cum += cell.Snapshot.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n",
+				name, base, formatValue(b.Seconds()), cum)
+		}
+		cum += cell.Snapshot.Counts[len(bounds)]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, base, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, base,
+			formatValue(float64(cell.Snapshot.SumNanos)/1e9))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, base, cell.Snapshot.Count)
+	}
+}
+
+// counterHelp gives each flat counter a stable one-line description;
+// unknown names get a generic line so the exposition never breaks on a
+// new counter.
+func counterHelp(name string) string {
+	if h, ok := counterHelpText[name]; ok {
+		return h
+	}
+	return "oicd server counter " + name + "."
+}
+
+var counterHelpText = map[string]string{
+	"requests_total":           "HTTP requests received.",
+	"compiles_total":           "Compilations executed (cache misses that ran).",
+	"runs_total":               "VM executions.",
+	"native_runs_total":        "Native build-and-run executions.",
+	"shed_total":               "Requests shed with 429 (worker queue full).",
+	"deadline_exceeded_total":  "Requests canceled by their deadline.",
+	"inflight":                 "Requests currently being served.",
+	"workers_busy":             "Worker-pool tokens currently held.",
+	"queue_depth":              "Requests currently queued for a worker token.",
+	"cache_entries":            "Compile result-cache entries resident.",
+	"cache_hits_total":         "Compile result-cache hits.",
+	"cache_misses_total":       "Compile result-cache misses.",
+	"cache_evictions_total":    "Compile result-cache LRU evictions.",
+	"native_cache_entries":     "Native-run result-cache entries resident.",
+	"native_cache_hits_total":  "Native-run result-cache hits.",
+	"native_cache_misses_total": "Native-run result-cache misses.",
+	"sessions_active":          "Incremental sessions resident.",
+	"sessions_created_total":   "Incremental sessions created.",
+	"session_patches_total":    "Session patches absorbed.",
+	"session_evictions_total":  "Sessions evicted by the LRU bound.",
+	"session_expirations_total": "Sessions expired by the idle TTL.",
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine is the CI well-formedness check's contract: every non-empty
+// line is a comment (# HELP / # TYPE) or a `name{labels} value` sample.
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+(Inf)?)$`)
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	v := NewHistogramVec()
+	v.Observe(Labels{Endpoint: "/v1/compile", Cache: "miss", Engine: "none", Tier: "none"}, 3*time.Millisecond)
+	v.Observe(Labels{Endpoint: "/v1/compile", Cache: "hit", Engine: "none", Tier: "none"}, 40*time.Microsecond)
+
+	var b strings.Builder
+	WritePrometheus(&b, []CounterValue{
+		{Name: "requests_total", Value: 7},
+		{Name: "queue_depth", Value: 2, Gauge: true},
+		{Name: "a_fractional_value", Value: 1.5},
+	}, v)
+	out := b.String()
+
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	// Counters sort by name and carry HELP/TYPE with the right kind.
+	if !strings.Contains(out, "# TYPE oicd_requests_total counter") {
+		t.Error("missing counter TYPE line")
+	}
+	if !strings.Contains(out, "# TYPE oicd_queue_depth gauge") {
+		t.Error("missing gauge TYPE line")
+	}
+	if !strings.Contains(out, "oicd_a_fractional_value 1.5") {
+		t.Error("fractional value mangled")
+	}
+	if !strings.Contains(out, "# TYPE oicd_request_duration_seconds histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+	if strings.Index(out, "oicd_a_fractional_value") > strings.Index(out, "oicd_queue_depth") {
+		t.Error("counters not sorted by name")
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	v := NewHistogramVec()
+	l := Labels{Endpoint: "/v1/run", Cache: "none", Engine: "vm", Tier: "none"}
+	v.Observe(l, 15*time.Microsecond)  // bucket le=2e-05
+	v.Observe(l, 100*time.Millisecond) // higher bucket
+	v.Observe(l, 300*time.Hour)        // overflow
+
+	var b strings.Builder
+	WritePrometheus(&b, nil, v)
+	out := b.String()
+
+	base := `endpoint="/v1/run",cache="none",engine="vm",tier="none"`
+	var lastCum uint64
+	var bucketLines int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "oicd_request_duration_seconds_bucket{"+base) {
+			continue
+		}
+		bucketLines++
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", val, err)
+		}
+		if n < lastCum {
+			t.Fatalf("buckets not cumulative: %d after %d in %q", n, lastCum, line)
+		}
+		lastCum = n
+	}
+	if bucketLines != numBuckets {
+		t.Errorf("got %d bucket lines, want %d", bucketLines, numBuckets)
+	}
+	if lastCum != 3 {
+		t.Errorf("+Inf cumulative = %d, want 3 (overflow observation lost)", lastCum)
+	}
+	if !strings.Contains(out, "oicd_request_duration_seconds_count{"+base+"} 3") {
+		t.Error("missing _count sample")
+	}
+	if !strings.Contains(out, "oicd_request_duration_seconds_sum{"+base+"}") {
+		t.Error("missing _sum sample")
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Error("missing +Inf bucket")
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel(`a"b\c` + "\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		1.5:     "1.5",
+		1e-05:   "1e-05",
+		0.00064: "0.00064",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -146,6 +146,10 @@ const (
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// QueueDepth reports how many requests were queued for a worker when
+	// this request was shed (CodeOverloaded only) — the signal clients
+	// should size their backoff on.
+	QueueDepth int64 `json:"queue_depth,omitempty"`
 }
 
 // Envelope is the response body every endpoint (and oic -json) emits;

@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"objinline"
 	"objinline/internal/emit"
+	"objinline/internal/obs"
 	"objinline/internal/server/api"
+	"objinline/internal/trace"
 )
 
 // prepared is a validated request: normalized inputs, the cache key they
@@ -102,12 +105,24 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 func (s *Server) ensureCompiled(w http.ResponseWriter, r *http.Request, p *prepared) (*entry, bool) {
 	e, leader := s.results.claim(p.key)
 	w.Header().Set("X-Oicd-Cache-Key", p.key)
+	oreq := obs.FromContext(r.Context())
 	if !leader {
 		w.Header().Set("X-Oicd-Cache", "hit")
+		if oreq != nil {
+			oreq.Cache = "hit"
+		}
+		// Waiting on another request's in-flight compile is its own span:
+		// a trace reader should see coalescing, not an unexplained gap.
+		var await trace.Span
+		if oreq != nil {
+			await = oreq.Sink.Start(obs.SpanAwait)
+		}
 		select {
 		case <-e.done:
+			await.End()
 			return e, true
 		case <-p.ctx.Done():
+			await.End()
 			s.metrics.deadlineExceeded.Add(1)
 			s.writeError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
 				"deadline exceeded waiting for in-flight compilation: "+p.ctx.Err().Error())
@@ -116,12 +131,15 @@ func (s *Server) ensureCompiled(w http.ResponseWriter, r *http.Request, p *prepa
 	}
 
 	w.Header().Set("X-Oicd-Cache", "miss")
+	if oreq != nil {
+		oreq.Cache = "miss"
+	}
 	if err := s.acquire(p.ctx); err != nil {
 		// The claim installed an entry other requests may already be
 		// waiting on: give it the same fate this request got, then drop
 		// it so the key is retried fresh.
 		status := http.StatusTooManyRequests
-		env := api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: err.Error()}}
+		env := api.Envelope{Error: s.overloadedError(err)}
 		if !errors.Is(err, errOverloaded) {
 			status = http.StatusGatewayTimeout
 			env.Error = &api.Error{Code: api.CodeDeadlineExceeded, Message: "deadline exceeded waiting for a worker: " + err.Error()}
@@ -153,7 +171,17 @@ func (s *Server) ensureCompiled(w http.ResponseWriter, r *http.Request, p *prepa
 func (s *Server) compileInto(ctx context.Context, e *entry, p *prepared) {
 	defer close(e.done)
 	s.metrics.compiles.Add(1)
-	prog, err := objinline.CompileContext(ctx, p.filename, p.source, p.cfg, objinline.WithTracing())
+	// The compilation traces into its own sink — the envelope's
+	// CompileStats must carry compiler phases only — and the phase spans
+	// are then grafted into the owning request's span tree, so a slow
+	// request's trace shows which phase made it slow. Merging after the
+	// fact (rather than sharing the request sink) also keeps the cached
+	// envelope byte-identical however the request was observed.
+	sink := &trace.Sink{}
+	prog, err := objinline.CompileContext(ctx, p.filename, p.source, p.cfg, objinline.WithTraceSink(sink))
+	if oreq := obs.FromContext(ctx); oreq != nil {
+		oreq.Sink.Merge(sink.Epoch(), sink.Events())
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.metrics.deadlineExceeded.Add(1)
@@ -264,39 +292,43 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.replay(w, e)
 		return
 	}
+	oreq := obs.FromContext(r.Context())
 	if engine == objinline.EngineNative {
 		w.Header().Set("X-Oicd-Engine", objinline.EngineNative.String())
+		if oreq != nil {
+			oreq.Engine = objinline.EngineNative.String()
+		}
 		s.runNative(w, r, &p, e, &req)
 		return
 	}
 	w.Header().Set("X-Oicd-Engine", objinline.EngineVM.String())
+	if oreq != nil {
+		oreq.Engine = objinline.EngineVM.String()
+	}
 
 	// VM runs are per-request work (never cached), so each one occupies a
 	// worker; the request context keeps the client's cancellation — a
 	// run's result is not shared, so hanging up may cancel it.
 	if err := s.acquire(p.ctx); err != nil {
-		if errors.Is(err, errOverloaded) {
-			s.metrics.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, api.CodeOverloaded, err.Error())
-		} else {
-			s.metrics.deadlineExceeded.Add(1)
-			s.writeError(w, http.StatusGatewayTimeout, api.CodeDeadlineExceeded,
-				"deadline exceeded waiting for a worker: "+err.Error())
-		}
+		s.writeAdmissionError(w, err)
 		return
 	}
 	defer s.release()
 	s.metrics.runs.Add(1)
 
+	// The run phase traces straight into the request's span tree when one
+	// exists; a fresh throwaway sink otherwise, so concurrent runs never
+	// append to the program's shared compile-time trace.
+	runSink := &objinline.TraceSink{}
+	if oreq != nil && oreq.Sink != nil {
+		runSink = oreq.Sink
+	}
 	out := capWriter{max: s.cfg.MaxOutputBytes}
 	ro := objinline.RunOptions{
 		MaxSteps:     req.MaxSteps,
 		DisableCache: req.DisableCache,
 		Profile:      req.Profile,
-		// Each run gets its own sink so concurrent runs do not append to
-		// the program's shared compile-time trace.
-		Trace: &objinline.TraceSink{},
+		Trace:        runSink,
 	}
 	if req.IncludeOutput {
 		ro.Output = &out
@@ -372,7 +404,7 @@ func (s *Server) runNative(w http.ResponseWriter, r *http.Request, p *prepared, 
 		// Same treatment as a shed compile leader: settle the entry for
 		// anyone already waiting, then drop it so the key retries fresh.
 		status := http.StatusTooManyRequests
-		env := api.Envelope{Error: &api.Error{Code: api.CodeOverloaded, Message: err.Error()}}
+		env := api.Envelope{Error: s.overloadedError(err)}
 		if !errors.Is(err, errOverloaded) {
 			status = http.StatusGatewayTimeout
 			env.Error = &api.Error{Code: api.CodeDeadlineExceeded, Message: "deadline exceeded waiting for a worker: " + err.Error()}
@@ -413,7 +445,14 @@ func (s *Server) nativeRunInto(ctx context.Context, e, ce *entry, p *prepared, r
 	if req.IncludeOutput {
 		ro.Output = &out
 	}
+	// The native tier reports its own build/run split in the envelope;
+	// the request trace gets one span covering the whole execution.
+	var span trace.Span
+	if oreq := obs.FromContext(ctx); oreq != nil {
+		span = oreq.Sink.Start(obs.SpanNative)
+	}
 	res, err := ce.prog.Execute(ctx, ro)
+	span.End()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.metrics.deadlineExceeded.Add(1)
@@ -459,12 +498,54 @@ func (s *Server) nativeRunInto(ctx context.Context, e, ce *entry, p *prepared, r
 	e.body = marshalEnvelope(env)
 }
 
+// healthResponse is the GET /healthz body: readiness plus enough build
+// identity to answer "what exactly is running on this box".
+type healthResponse struct {
+	// Status is "ok" while serving and "draining" once shutdown has begun
+	// (the response is then a 503, so load balancers stop routing here
+	// before the listener closes).
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go"`
+	Revision      string  `json:"revision,omitempty"`
+	BuildTime     string  `json:"build_time,omitempty"`
+	Modified      bool    `json:"modified,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	h := healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.GoVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				h.Revision = kv.Value
+			case "vcs.time":
+				h.BuildTime = kv.Value
+			case "vcs.modified":
+				h.Modified = kv.Value == "true"
+			}
+		}
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, s.metrics.promCounters(), s.obs.Latency())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.metrics.vars.String())
 }
@@ -493,10 +574,22 @@ func (s *Server) writeEnvelope(w http.ResponseWriter, status int, env api.Envelo
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	e := &api.Error{Code: code, Message: msg}
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
+		e.QueueDepth = s.queued.Load()
 	}
-	s.writeEnvelope(w, status, api.Envelope{Error: &api.Error{Code: code, Message: msg}})
+	s.writeEnvelope(w, status, api.Envelope{Error: e})
+}
+
+// overloadedError builds the 429 error body, including the queue depth
+// observed at shed time so clients can size their backoff.
+func (s *Server) overloadedError(err error) *api.Error {
+	return &api.Error{
+		Code:       api.CodeOverloaded,
+		Message:    err.Error(),
+		QueueDepth: s.queued.Load(),
+	}
 }
 
 // replay writes a cache entry's stored response verbatim.

@@ -2,8 +2,10 @@ package server
 
 import (
 	"expvar"
+	"strings"
 
 	"objinline"
+	"objinline/internal/obs"
 )
 
 // metrics is one server instance's counter set, served as the JSON body of
@@ -94,5 +96,80 @@ func newMetrics(s *Server) *metrics {
 			return tiers[tier]
 		}))
 	}
+	// Server-computed latency percentiles per endpoint, aggregated across
+	// cache status, engine, and tier. Flat keys (the /metrics body is one
+	// level of numbers by contract) in nanoseconds, estimated from the
+	// same log-bucketed histograms the Prometheus exposition serves — a
+	// client comparing the two sources compares estimators, not data.
+	for _, ep := range metricsEndpoints {
+		ep := ep
+		base := "latency_" + flatEndpointKey(ep) + "_"
+		for _, pq := range []struct {
+			suffix string
+			q      float64
+		}{{"p50_ns", 0.50}, {"p95_ns", 0.95}, {"p99_ns", 0.99}} {
+			pq := pq
+			m.vars.Set(base+pq.suffix, expvar.Func(func() any {
+				return int64(s.obs.Latency().Endpoint(ep).Quantile(pq.q))
+			}))
+		}
+	}
 	return m
+}
+
+// metricsEndpoints are the route patterns given latency-percentile keys in
+// /metrics (histogram labels use the same strings; see obs.routeOf).
+var metricsEndpoints = []string{
+	"/v1/compile", "/v1/explain", "/v1/run",
+	"/v1/session", "/v1/session/{id}",
+}
+
+// flatEndpointKey turns a route pattern into an expvar-key fragment:
+// "/v1/session/{id}" -> "v1_session_id".
+func flatEndpointKey(ep string) string {
+	r := strings.NewReplacer("/", "_", "{", "", "}", "")
+	return r.Replace(strings.TrimPrefix(ep, "/"))
+}
+
+// promGauges marks the point-in-time counters for the Prometheus
+// exposition; everything else in the expvar map is monotonic.
+var promGauges = map[string]bool{
+	"inflight":             true,
+	"workers_busy":         true,
+	"queue_depth":          true,
+	"cache_entries":        true,
+	"native_cache_entries": true,
+	"sessions_active":      true,
+}
+
+// promCounters snapshots the flat expvar counters for the Prometheus
+// exposition. Latency keys are excluded — the histogram series carries
+// that data with full fidelity.
+func (m *metrics) promCounters() []obs.CounterValue {
+	var out []obs.CounterValue
+	m.vars.Do(func(kv expvar.KeyValue) {
+		if strings.HasPrefix(kv.Key, "latency_") {
+			return
+		}
+		var v float64
+		switch x := kv.Value.(type) {
+		case *expvar.Int:
+			v = float64(x.Value())
+		case expvar.Func:
+			switch n := x.Value().(type) {
+			case int:
+				v = float64(n)
+			case int64:
+				v = float64(n)
+			case float64:
+				v = n
+			default:
+				return
+			}
+		default:
+			return
+		}
+		out = append(out, obs.CounterValue{Name: kv.Key, Value: v, Gauge: promGauges[kv.Key]})
+	})
+	return out
 }

@@ -17,17 +17,39 @@
 //	                          reusing prior analysis/optimization where the
 //	                          edit allows; byte-identical to a cold compile
 //	DELETE /v1/session/{id} — release the session
-//	GET    /healthz         — liveness
-//	GET    /metrics         — this instance's counters as expvar-style JSON
+//	GET    /healthz         — liveness + readiness: build info, uptime,
+//	                          503 while draining so load balancers stop
+//	                          routing before the listener closes
+//	GET    /metrics         — this instance's counters as expvar-style
+//	                          JSON (with server-computed latency
+//	                          percentiles), or Prometheus text exposition
+//	                          with ?format=prometheus
+//	GET    /debug/requests  — the last N requests (id, route, status,
+//	                          cache/engine/tier, queue wait, duration)
+//	GET    /debug/requests/{id}/trace — one request's span tree as a
+//	                          Chrome trace (Perfetto-loadable)
+//	GET    /debug/requests/trace — every buffered request on one shared
+//	                          timeline
+//
+// Every response carries X-Oicd-Request-Id (honored from the request
+// when present, minted otherwise), request latency lands in log-bucketed
+// histograms keyed {endpoint, cache status, engine, session tier}, and
+// each request records a span tree — HTTP span, admission wait, compile
+// phases, VM/native execution — into a bounded in-memory ring
+// (internal/obs, DESIGN.md §14).
 package server
 
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"objinline/internal/obs"
+	"objinline/internal/trace"
 )
 
 // Config tunes a server instance. Zero values mean defaults.
@@ -71,6 +93,16 @@ type Config struct {
 	// allowed") clamp to it. Clamping never changes results — the solvers
 	// are byte-identical at any worker count.
 	AnalysisJobs int
+	// RequestRingEntries bounds the per-request trace ring buffer behind
+	// GET /debug/requests (default 128; negative disables per-request
+	// tracing and the ring — request ids, histograms, and access logs
+	// still work).
+	RequestRingEntries int
+	// AccessLog receives one structured record per request (request id,
+	// method, route, status, cache status, tier, engine, queue wait,
+	// duration, bytes) at Info level. nil disables access logging; the
+	// disabled path costs one nil check and zero allocations.
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +152,15 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 
+	// obs is the service observability layer; handler wraps mux with its
+	// middleware (request ids, histograms, ring, access log).
+	obs     *obs.Obs
+	handler http.Handler
+	// start anchors /healthz's uptime; draining flips /healthz to 503
+	// (set by BeginDrain when shutdown starts).
+	start    time.Time
+	draining atomic.Bool
+
 	// nativeRuns caches native executions' response envelopes, keyed by
 	// compile key ⊕ run knobs (nativeRunKey). Kept separate from results
 	// so native traffic can never evict compilations.
@@ -142,7 +183,9 @@ func New(cfg Config) *Server {
 		sessions:   newSessionStore(cfg.SessionEntries, cfg.SessionTTL),
 		workers:    make(chan struct{}, cfg.PoolSize),
 		mux:        http.NewServeMux(),
+		start:      time.Now(),
 	}
+	s.obs = obs.New(obs.Options{RingEntries: cfg.RequestRingEntries, Logger: cfg.AccessLog})
 	s.metrics = newMetrics(s)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
@@ -152,8 +195,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.obs.Mount(s.mux)
+	s.handler = s.obs.Middleware(s.mux)
 	return s
 }
+
+// DebugHandler returns the separate debug surface — net/http/pprof plus
+// the request-introspection endpoints — meant for its own listener
+// (oicd's -debug-addr), never the serving port.
+func (s *Server) DebugHandler() http.Handler { return s.obs.DebugHandler() }
+
+// BeginDrain flips /healthz to 503 so load balancers stop routing here.
+// Call it when shutdown starts, before http.Server.Shutdown closes the
+// listener: probes over kept-alive connections see "draining" while
+// in-flight requests finish.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Close releases everything the server pins beyond in-flight requests —
 // today, the incremental sessions and their compiled programs. Call it
@@ -165,7 +221,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // errOverloaded reports that the wait queue is full and the request must
@@ -187,6 +243,25 @@ func (s *Server) acquire(ctx context.Context) error {
 		return errOverloaded
 	}
 	defer s.queued.Add(-1)
+	// The fast path missed: this request is actually waiting, which is
+	// worth a span on its trace and a queue-wait figure in its access-log
+	// record. All of it is nil-safe when the request carries no
+	// observability state (library callers, tracing disabled).
+	req := obs.FromContext(ctx)
+	var (
+		span trace.Span
+		t0   time.Time
+	)
+	if req != nil {
+		span = req.Sink.Start(obs.SpanAdmission)
+		t0 = time.Now()
+	}
+	defer func() {
+		if req != nil {
+			span.End()
+			req.QueueWait += time.Since(t0)
+		}
+	}()
 	select {
 	case s.workers <- struct{}{}:
 		return nil

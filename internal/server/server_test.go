@@ -471,8 +471,19 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+	var health struct {
+		Status        string  `json:"status"`
+		GoVersion     string  `json:"go"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz: unmarshal %q: %v", body, err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
 		t.Errorf("healthz: status %d body %q", resp.StatusCode, body)
+	}
+	if health.GoVersion == "" {
+		t.Errorf("healthz: missing go version in %q", body)
 	}
 	m := getMetrics(t, ts)
 	for _, key := range []string{

@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"objinline"
+	"objinline/internal/obs"
 	"objinline/internal/server/api"
+	"objinline/internal/trace"
 )
 
 // session is one pinned incremental compilation.
@@ -147,12 +149,20 @@ func (st *sessionStore) unlinkLocked(el *list.Element) {
 	delete(st.entries, el.Value.(*session).id)
 }
 
-// recordTier counts one absorbed patch by its tier, for /metrics.
-func (st *sessionStore) recordTier(tier string) {
+// recordTier counts one absorbed patch by its tier, returning the
+// cumulative per-tier totals after the bump. /metrics serves the totals;
+// the patch handler also stamps them onto its trace span, so a Chrome
+// trace export renders the tier mix over time as a counter track.
+func (st *sessionStore) recordTier(tier string) map[string]int64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.patches++
 	st.tiers[tier]++
+	totals := make(map[string]int64, len(st.tiers))
+	for k, v := range st.tiers {
+		totals[k] = v
+	}
+	return totals
 }
 
 // snapshot returns (active, creates, patches, evictions, expirations,
@@ -199,7 +209,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
+	// A session create is a cold compile by definition; label the request
+	// so its histogram cell and access-log record say so.
+	oreq := obs.FromContext(r.Context())
+	var span trace.Span
+	if oreq != nil {
+		oreq.Tier = objinline.TierCold
+		span = oreq.Sink.Start(obs.SpanSession)
+	}
 	sess, err := objinline.NewSessionContext(p.ctx, p.filename, p.source, p.cfg)
+	span.End()
 	if err != nil {
 		s.writeCompileError(w, p.filename, err)
 		return
@@ -258,14 +277,34 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
+	oreq := obs.FromContext(r.Context())
+	var span trace.Span
+	if oreq != nil {
+		span = oreq.Sink.Start(obs.SpanPatch)
+	}
 	ss.mu.Lock()
 	prog, st, err := ss.sess.PatchContext(ctx, req.Source)
 	ss.mu.Unlock()
 	if err != nil {
+		span.End()
 		s.writeCompileError(w, ss.filename, err)
 		return
 	}
-	s.sessions.recordTier(st.Tier)
+	totals := s.sessions.recordTier(st.Tier)
+	if oreq != nil {
+		// The tier that absorbed this patch labels the request's histogram
+		// cell and access-log record; the cumulative totals ride on the span
+		// as tier_* counters, which the Chrome export folds into one
+		// "session/tiers" counter track.
+		oreq.Tier = st.Tier
+		for _, tier := range []string{
+			objinline.TierReuse, objinline.TierPatch, objinline.TierReopt,
+			objinline.TierSolve, objinline.TierCold,
+		} {
+			span.Counter(obs.TierCounterPrefix+tier, totals[tier])
+		}
+	}
+	span.End()
 	cs := prog.CompileStats()
 	s.writeEnvelope(w, http.StatusOK, api.Envelope{
 		File:        ss.filename,

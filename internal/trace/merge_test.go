@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEpoch(t *testing.T) {
+	var nilSink *Sink
+	if !nilSink.Epoch().IsZero() {
+		t.Error("nil sink epoch not zero")
+	}
+	var s Sink
+	if !s.Epoch().IsZero() {
+		t.Error("fresh sink epoch not zero")
+	}
+	tick := time.Unix(50, 0)
+	s.now = func() time.Time { return tick }
+	s.Start(PhaseParse).End()
+	if got := s.Epoch(); !got.Equal(tick) {
+		t.Errorf("epoch = %v, want %v", got, tick)
+	}
+}
+
+func TestMergeShiftsOntoOwnTimeline(t *testing.T) {
+	base := time.Unix(100, 0)
+
+	// The destination sink starts at base.
+	var dst Sink
+	dtick := base
+	dst.now = func() time.Time {
+		dtick = dtick.Add(time.Millisecond)
+		return dtick
+	}
+	dst.Start(PhaseRun).End() // epoch = base+1ms
+
+	// The source sink starts 10ms after the destination's epoch.
+	var src Sink
+	stick := base.Add(11 * time.Millisecond)
+	src.now = func() time.Time {
+		stick = stick.Add(time.Millisecond)
+		return stick
+	}
+	sp := src.Start(PhaseParse)
+	sp.Counter("n", 3)
+	sp.End()
+
+	dst.Merge(src.Epoch(), src.Events())
+	evs := dst.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// src epoch = base+12ms, dst epoch = base+1ms: the parse span (offset 0
+	// in src) must land at 11ms on dst's timeline.
+	if want := int64(11 * time.Millisecond); evs[1].Start != want {
+		t.Errorf("merged span starts at %d, want %d", evs[1].Start, want)
+	}
+	if evs[1].Phase != PhaseParse || evs[1].Counters[0].Name != "n" {
+		t.Errorf("merged event = %+v", evs[1])
+	}
+}
+
+func TestMergeIntoEmptySinkAdoptsEpoch(t *testing.T) {
+	var src Sink
+	tick := time.Unix(7, 0)
+	src.now = func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}
+	src.Start(PhaseCheck).End()
+
+	var dst Sink
+	dst.Merge(src.Epoch(), src.Events())
+	if !dst.Epoch().Equal(src.Epoch()) {
+		t.Errorf("empty dst did not adopt epoch: %v vs %v", dst.Epoch(), src.Epoch())
+	}
+	if evs := dst.Events(); len(evs) != 1 || evs[0].Start != 0 {
+		t.Errorf("merged events = %+v", evs)
+	}
+}
+
+func TestMergeNoOps(t *testing.T) {
+	var nilSink *Sink
+	nilSink.Merge(time.Unix(1, 0), []Event{{Phase: PhaseParse}}) // must not panic
+
+	var s Sink
+	s.Merge(time.Time{}, []Event{{Phase: PhaseParse}}) // zero epoch
+	s.Merge(time.Unix(1, 0), nil)                      // no events
+	if len(s.Events()) != 0 {
+		t.Errorf("no-op merges recorded events: %+v", s.Events())
+	}
+	if !s.Epoch().IsZero() {
+		t.Error("no-op merge set an epoch")
+	}
+}
+
+func TestWriteChromeTracks(t *testing.T) {
+	var s Sink
+	tick := time.Unix(0, 0)
+	s.now = func() time.Time {
+		tick = tick.Add(time.Millisecond)
+		return tick
+	}
+	sp := s.Start(PhaseOptimize)
+	sp.Counter("tier_reuse", 4)
+	sp.Counter("tier_cold", 1)
+	sp.Counter("clones", 2)
+	sp.End()
+
+	var b strings.Builder
+	err := WriteChromeTracks(&b, []Track{
+		{Name: "req-a", Tid: 1, Events: s.Events()},
+		{Name: "req-b", Tid: 2, Offset: int64(5 * time.Millisecond), Events: s.Events()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	// Per track: thread_name metadata, span, clones counter, folded tier
+	// counter = 4 events.
+	if len(parsed.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8:\n%s", len(parsed.TraceEvents), b.String())
+	}
+	meta := parsed.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "req-a" {
+		t.Errorf("metadata event = %+v", meta)
+	}
+	// The tier_* counters must fold into one multi-series track without
+	// their prefix, and the plain counter must keep its own track.
+	var tiers, clones bool
+	for _, ev := range parsed.TraceEvents {
+		switch {
+		case ev.Ph == "C" && ev.Name == "session/tiers":
+			tiers = true
+			if ev.Args["reuse"] != float64(4) || ev.Args["cold"] != float64(1) {
+				t.Errorf("tier counter args = %v", ev.Args)
+			}
+			if _, leaked := ev.Args["tier_reuse"]; leaked {
+				t.Errorf("unprefixed fold leaked raw name: %v", ev.Args)
+			}
+		case ev.Ph == "C" && ev.Name == "optimize/clones":
+			clones = true
+		case ev.Ph == "C":
+			t.Errorf("unexpected counter track %q", ev.Name)
+		}
+	}
+	if !tiers || !clones {
+		t.Errorf("missing counter tracks: tiers=%v clones=%v", tiers, clones)
+	}
+	// The second track's span must be shifted by its offset (5ms = 5000µs).
+	var shifted bool
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.Tid == 2 {
+			shifted = true
+			if ev.Ts != 5000 {
+				t.Errorf("offset track span ts = %v, want 5000", ev.Ts)
+			}
+		}
+	}
+	if !shifted {
+		t.Error("no span on the offset track")
+	}
+}

@@ -131,6 +131,44 @@ func (sp Span) End() {
 	sp.sink.events[sp.idx].Nanos = int64(sp.sink.clock().Sub(sp.start))
 }
 
+// Epoch returns the sink's time origin — the wall-clock time of its
+// first Start call — or the zero time before any span has started. Safe
+// on a nil sink. Callers merging one sink's events into another use it
+// to translate between the two timelines.
+func (s *Sink) Epoch() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Merge appends events recorded by another sink, shifting their Start
+// offsets so the other sink's epoch lands at the right point on s's
+// timeline. The oicd server uses it to graft a compilation's phase spans
+// (recorded into their own sink, so the cached CompileStats stay free of
+// service-level spans) into the owning request's span tree. Merging into
+// a sink that has recorded nothing adopts epoch as its own. Events may
+// land out of start order relative to existing ones; consumers (the
+// Chrome export, Perfetto) order by timestamp, not position. No-op on a
+// nil sink or a zero epoch.
+func (s *Sink) Merge(epoch time.Time, events []Event) {
+	if s == nil || epoch.IsZero() || len(events) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch.IsZero() {
+		s.epoch = epoch
+	}
+	shift := int64(epoch.Sub(s.epoch))
+	for _, ev := range events {
+		ev.Start += shift
+		s.events = append(s.events, ev)
+	}
+}
+
 // Events returns a copy of the recorded events in start order. Safe on a
 // nil sink (returns nil).
 func (s *Sink) Events() []Event {
