@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet check-json bench bench-analysis bench-incremental bench-calibration bench-serve payoff figs serve
+.PHONY: check build test race vet check-json bench bench-analysis bench-incremental bench-calibration bench-serve bench-cluster payoff figs serve
 
 check: build vet race check-json
 
@@ -74,3 +74,11 @@ serve:
 # percentiles, cache hit rate, and byte-identity at concurrency 8.
 bench-serve:
 	$(GO) run ./cmd/objbench -fig serve
+
+# Benchmark the cluster tier: a real 3-process cluster measured for
+# cross-instance dedup, per-instance and cluster-wide latency,
+# byte-identity through every front, SIGKILL failover, and
+# warm-from-disk restart.
+bench-cluster:
+	$(GO) run ./cmd/objbench -fig cluster -json > BENCH_cluster.json
+	$(GO) run ./cmd/objbench -fig cluster

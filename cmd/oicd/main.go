@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"objinline/internal/cluster"
 	"objinline/internal/server"
 )
 
@@ -54,6 +55,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	logFormat := fs.String("log-format", "text", "access/operational log format: text or json")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error (access logs emit at info)")
 	debugAddr := fs.String("debug-addr", "", "listen address for the debug surface (pprof + /debug/requests); empty disables it")
+	peers := fs.String("peers", "", "comma-separated base URLs of every cluster instance (this one included); empty runs standalone")
+	self := fs.String("self", "", "this instance's base URL as peers reach it (defaults to http://<addr>)")
+	cacheDir := fs.String("cache-dir", "", "directory for the persistent cache tier (WAL + snapshot); empty disables it")
+	probeInterval := fs.Duration("probe-interval", time.Second, "cluster peer health-probe interval")
+	noHedge := fs.Bool("no-hedge", false, "disable hedged reads on cluster forwards")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -70,6 +76,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return 2
 	}
 
+	// Listen before building the server: with -peers and no -self the
+	// instance's own URL is derived from the bound address (":0" included).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "oicd: %v\n", err)
+		return 1
+	}
+
+	// Persistent cache tier: open (and replay) before the server seeds
+	// from it; closed last, after the final compaction in srv.Close.
+	var store *cluster.Store
+	if *cacheDir != "" {
+		store, err = cluster.OpenStore(*cacheDir, cluster.StoreOptions{Logger: logger})
+		if err != nil {
+			fmt.Fprintf(stderr, "oicd: cache dir: %v\n", err)
+			ln.Close()
+			return 1
+		}
+		defer store.Close()
+	}
+
+	// Cluster membership: static peer list, probed for health. Self must
+	// be a URL the peers can reach; the bound address is only a usable
+	// default when -addr names a reachable interface.
+	var cl *cluster.Cluster
+	if *peers != "" {
+		selfURL := *self
+		if selfURL == "" {
+			selfURL = "http://" + ln.Addr().String()
+		}
+		cl = cluster.New(cluster.Config{
+			Self:          selfURL,
+			Peers:         cluster.ParsePeers(*peers),
+			ProbeInterval: *probeInterval,
+			Logger:        logger,
+		})
+		cl.Start()
+		defer cl.Close()
+	}
+
 	srv := server.New(server.Config{
 		PoolSize:           *pool,
 		QueueDepth:         *queue,
@@ -83,12 +129,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		SessionTTL:         *sessionTTL,
 		RequestRingEntries: *requestRing,
 		AccessLog:          logger,
+		Cluster:            cl,
+		Disk:               store,
+		DisableHedge:       *noHedge,
 	})
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(stderr, "oicd: %v\n", err)
-		return 1
-	}
 	hs := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -208,5 +209,147 @@ func TestDaemonDebugSurface(t *testing.T) {
 	}
 	if !logged {
 		t.Errorf("no access-log record for /v1/compile on stderr: %q", stderr.String())
+	}
+}
+
+// startDaemon boots one daemon with args and returns its base URL plus
+// the channels to stop it and await its exit code.
+func startDaemon(t *testing.T, args []string) (base string, stop context.CancelFunc, exited chan int, stderr *bytes.Buffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	errBuf := &bytes.Buffer{}
+	ready := make(chan string, 1)
+	exited = make(chan int, 1)
+	go func() {
+		exited <- run(ctx, args, &out, errBuf, ready)
+	}()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-exited:
+		cancel()
+		t.Fatalf("daemon exited early with %d: %s", code, errBuf.String())
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return base, cancel, exited, errBuf
+}
+
+func stopDaemon(t *testing.T, stop context.CancelFunc, exited chan int, stderr *bytes.Buffer) {
+	t.Helper()
+	stop()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d, want 0; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func compileVia(t *testing.T, base, source string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"source": source})
+	resp, err := http.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, got
+}
+
+// TestDaemonCacheDirWarmRestart restarts a disk-backed daemon and
+// expects the second boot to answer the same compile as a warm,
+// byte-identical cache hit without recompiling.
+func TestDaemonCacheDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	const source = "func main() { print(6 * 7); }"
+	args := []string{"-addr", "127.0.0.1:0", "-cache-dir", dir}
+
+	base, stop, exited, stderr := startDaemon(t, args)
+	resp, cold := compileVia(t, base, source)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold compile: status %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Oicd-Cache"); got != "miss" {
+		t.Fatalf("cold compile X-Oicd-Cache = %q, want miss", got)
+	}
+	stopDaemon(t, stop, exited, stderr)
+
+	base2, stop2, exited2, stderr2 := startDaemon(t, args)
+	resp2, warm := compileVia(t, base2, source)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm compile: status %d: %s", resp2.StatusCode, warm)
+	}
+	if got := resp2.Header.Get("X-Oicd-Cache"); got != "hit" {
+		t.Errorf("restarted daemon X-Oicd-Cache = %q, want hit (warm from disk)", got)
+	}
+	if string(warm) != string(cold) {
+		t.Errorf("warm body differs from cold body:\n%s\nvs\n%s", warm, cold)
+	}
+	stopDaemon(t, stop2, exited2, stderr2)
+}
+
+// TestDaemonClusterForwarding boots two daemons that peer with each
+// other and checks a compile through either front lands on one owner:
+// the second front's read is a byte-identical forwarded cache hit.
+func TestDaemonClusterForwarding(t *testing.T) {
+	// Reserve two ports so each daemon can name the other before boot.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	peers := "http://" + addrs[0] + ",http://" + addrs[1]
+
+	const source = "func main() { print(1000 - 7); }"
+	type daemon struct {
+		base   string
+		stop   context.CancelFunc
+		exited chan int
+		stderr *bytes.Buffer
+	}
+	var ds []daemon
+	for _, addr := range addrs {
+		base, stop, exited, stderr := startDaemon(t, []string{"-addr", addr, "-peers", peers})
+		ds = append(ds, daemon{base, stop, exited, stderr})
+	}
+	defer func() {
+		for _, d := range ds {
+			stopDaemon(t, d.stop, d.exited, d.stderr)
+		}
+	}()
+
+	respA, bodyA := compileVia(t, ds[0].base, source)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("compile via A: status %d: %s", respA.StatusCode, bodyA)
+	}
+	owner := respA.Header.Get("X-Oicd-Owner")
+	if owner == "" {
+		t.Fatal("compile via A: missing X-Oicd-Owner")
+	}
+	respB, bodyB := compileVia(t, ds[1].base, source)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("compile via B: status %d: %s", respB.StatusCode, bodyB)
+	}
+	if got := respB.Header.Get("X-Oicd-Cache"); got != "hit" {
+		t.Errorf("compile via B X-Oicd-Cache = %q, want hit (same owner)", got)
+	}
+	if got := respB.Header.Get("X-Oicd-Owner"); got != owner {
+		t.Errorf("owner disagreement: A says %q, B says %q", owner, got)
+	}
+	if string(bodyB) != string(bodyA) {
+		t.Errorf("fronts returned different bytes:\n%s\nvs\n%s", bodyB, bodyA)
 	}
 }

@@ -1,0 +1,59 @@
+package clusterbench
+
+import (
+	"bytes"
+	"testing"
+
+	"objinline/internal/bench"
+)
+
+// TestClusterRunSmall runs the full cluster figure at a tiny scale:
+// three real oicd processes, every key through every front, a SIGKILL
+// failover, and a warm restart from the surviving cache dir.
+func TestClusterRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a multi-process cluster")
+	}
+	res, err := Run(Options{
+		Scale:       bench.ScaleSmall,
+		Instances:   3,
+		Concurrency: 4,
+		Keys:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shared.Errors != 0 || res.Warm.Errors != 0 {
+		t.Errorf("errors: shared %d, warm %d, want 0", res.Shared.Errors, res.Warm.Errors)
+	}
+	if !res.Identical {
+		t.Error("responses were not byte-identical across fronts/phases")
+	}
+	// 12 shared requests over 4 keys must compile each key exactly once.
+	if res.ClusterCompiles != float64(res.Keys) {
+		t.Errorf("cluster-wide compiles = %.0f, want %d (one per key)", res.ClusterCompiles, res.Keys)
+	}
+	if res.DedupFactor < float64(res.Instances)-0.01 {
+		t.Errorf("dedup factor = %.2f, want %d", res.DedupFactor, res.Instances)
+	}
+	if res.HitRate != 1 {
+		t.Errorf("warm hit rate = %.2f, want 1", res.HitRate)
+	}
+	if !res.Failover.Recovered {
+		t.Errorf("failover never recovered (%d requests, %d errors)",
+			res.Failover.Requests, res.Failover.Errors)
+	}
+	if !res.Restart.WarmHit || !res.Restart.Identical {
+		t.Errorf("warm restart: hit=%v identical=%v, want both true",
+			res.Restart.WarmHit, res.Restart.Identical)
+	}
+	if res.Restart.Compiles != 0 {
+		t.Errorf("restarted instance compiled %.0f times, want 0 (disk-seeded)", res.Restart.Compiles)
+	}
+
+	var buf bytes.Buffer
+	Print(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("Print produced no output")
+	}
+}

@@ -62,6 +62,19 @@ type PhaseStats struct {
 	P50        time.Duration `json:"p50_ns"`
 	P95        time.Duration `json:"p95_ns"`
 	P99        time.Duration `json:"p99_ns"`
+	// Dilation is the measured scheduler-queueing factor while the phase
+	// ran: how late 1ms metronome sleeps actually woke, as a ratio
+	// (≥ 1). On a quiet box it is ~1; when the machine is oversubscribed
+	// (other processes competing for the CPU), client-side clocks
+	// stretch by this factor while the server's handler clock cannot see
+	// it, so the latency-agreement check scales its tolerance by it.
+	Dilation float64 `json:"dilation"`
+	// MaxStall is the single worst metronome overshoot: the longest the
+	// scheduler left a runnable goroutine waiting during the phase. Any
+	// one client sample can absorb a couple of such stalls end to end,
+	// so it bounds the additive noise on a sample where the mean
+	// (Dilation) cannot.
+	MaxStall time.Duration `json:"max_stall_ns"`
 }
 
 // ServerStats is one phase's latency distribution as the server itself
@@ -186,6 +199,33 @@ func Run(opts Options) (*Result, error) {
 		latencies := make([]time.Duration, n)
 		errs := make([]bool, n)
 		var next atomic.Int64
+		// A metronome rides along with the workers: repeated 1ms sleeps
+		// whose overshoot measures how late the scheduler wakes this
+		// process while the phase runs. External load (other processes,
+		// a concurrently running test suite) stretches client clocks by
+		// exactly this queueing, invisibly to the server's handler
+		// clock; measuring it here lets the agreement check widen its
+		// tolerance by what actually happened instead of guessing.
+		stopProbe := make(chan struct{})
+		var probeAsked, probeSlept, probeMax atomic.Int64
+		go func() {
+			const tick = time.Millisecond
+			for {
+				select {
+				case <-stopProbe:
+					return
+				default:
+				}
+				t0 := time.Now()
+				time.Sleep(tick)
+				slept := int64(time.Since(t0))
+				probeAsked.Add(int64(tick))
+				probeSlept.Add(slept)
+				if over := slept - int64(tick); over > probeMax.Load() {
+					probeMax.Store(over)
+				}
+			}
+		}()
 		start := time.Now()
 		var wg sync.WaitGroup
 		for w := 0; w < opts.Concurrency; w++ {
@@ -206,6 +246,7 @@ func Run(opts Options) (*Result, error) {
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
+		close(stopProbe)
 		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 		st := PhaseStats{
 			Requests: n,
@@ -213,7 +254,14 @@ func Run(opts Options) (*Result, error) {
 			P50:      latencies[n/2],
 			P95:      latencies[n*95/100],
 			P99:      latencies[n*99/100],
+			Dilation: 1,
 		}
+		if asked := probeAsked.Load(); asked > 0 {
+			if d := float64(probeSlept.Load()) / float64(asked); d > 1 {
+				st.Dilation = d
+			}
+		}
+		st.MaxStall = time.Duration(probeMax.Load())
 		for _, e := range errs {
 			if e {
 				st.Errors++
@@ -372,16 +420,23 @@ func parseBuckets(body, endpoint, cache string) (les []float64, cum []uint64, er
 // the box has fewer cores than client workers, requests queue upstream
 // of the handler — in the kernel's socket queue and the runtime
 // scheduler — where the client's clock runs but the server's cannot,
-// dilating client latency by up to concurrency/GOMAXPROCS. The
-// tolerance is the product of those bounds plus an absolute floor for
-// the microsecond-scale warm phase; outside it, one instrument is
-// broken.
+// dilating client latency by up to concurrency/GOMAXPROCS, and further
+// by whatever *external* load shares the machine, which the phase's
+// metronome measured as PhaseStats.Dilation. The tolerance is the
+// product of those bounds plus an absolute floor for the
+// microsecond-scale warm phase; outside it, one instrument is broken.
 func quantilesAgree(client PhaseStats, srv ServerStats, concurrency int) bool {
-	const slack = 2 * time.Millisecond
+	slack := 2 * time.Millisecond
 	ratio := 3.0
 	if over := float64(concurrency) / float64(runtime.GOMAXPROCS(0)); over > 1 {
 		ratio *= over
 	}
+	if client.Dilation > 1 {
+		ratio *= client.Dilation
+	}
+	// One request spans two scheduler handoffs (send, receive), so a
+	// sample can absorb about two of the worst stalls the metronome saw.
+	slack += 2 * client.MaxStall
 	pairs := [][2]time.Duration{
 		{client.P50, srv.P50}, {client.P95, srv.P95}, {client.P99, srv.P99},
 	}

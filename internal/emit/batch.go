@@ -1,0 +1,237 @@
+package emit
+
+// Build batching: concurrent native builds coalesce into one go-build
+// invocation per drain cycle. The toolchain's fixed overhead (process
+// start, module load, linking runtime) dominates a single tiny program's
+// build, so N concurrent cache misses paying it once is close to N× off
+// the critical path. Each program is emitted as its own main package in
+// a subdirectory of one shared module and `go build ./...` compiles them
+// all; the shared directory is removed when the last member Closes.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"objinline/internal/ir"
+)
+
+// Builder abstracts Build so callers can route native builds through a
+// batcher (or anything else). Build's contract: emit prog, compile it,
+// return the runnable artifact; the context bounds the toolchain.
+type Builder interface {
+	Build(ctx context.Context, prog *ir.Program, opts BuildOptions) (*Built, error)
+}
+
+// DirectBuilder is the identity Builder: one toolchain invocation per
+// call, exactly the package-level Build.
+type DirectBuilder struct{}
+
+// Build implements Builder.
+func (DirectBuilder) Build(ctx context.Context, prog *ir.Program, opts BuildOptions) (*Built, error) {
+	return Build(ctx, prog, opts)
+}
+
+// BatchBuilder coalesces concurrent Build calls into one go-build per
+// drain cycle. The first caller in a quiet period becomes the cycle's
+// leader and builds immediately (no added latency when there is no
+// concurrency); calls arriving while that build runs queue up and are
+// compiled together in the next cycle. Safe for concurrent use.
+type BatchBuilder struct {
+	mu       sync.Mutex
+	pending  []*batchReq
+	draining bool
+
+	invocations atomic.Int64
+	batched     atomic.Int64 // programs built in multi-member cycles
+}
+
+// NewBatchBuilder returns an empty batcher.
+func NewBatchBuilder() *BatchBuilder { return &BatchBuilder{} }
+
+// ToolchainInvocations reports how many times this batcher has run the
+// go toolchain. With N concurrent distinct programs it is < N — that is
+// the batcher's entire point, and the regression test pins it.
+func (b *BatchBuilder) ToolchainInvocations() int64 { return b.invocations.Load() }
+
+// BatchedPrograms reports how many programs were compiled as part of a
+// multi-member cycle (for metrics; 0 under purely sequential load).
+func (b *BatchBuilder) BatchedPrograms() int64 { return b.batched.Load() }
+
+type batchReq struct {
+	ctx  context.Context
+	prog *ir.Program
+	done chan struct{}
+
+	built *Built
+	err   error
+}
+
+func (r *batchReq) settle(built *Built, err error) {
+	r.built, r.err = built, err
+	close(r.done)
+}
+
+// Build implements Builder. A call with an explicit opts.Dir (a caller
+// that wants the emitted package kept somewhere specific) bypasses the
+// batch — its artifact cannot live inside the shared module.
+func (b *BatchBuilder) Build(ctx context.Context, prog *ir.Program, opts BuildOptions) (*Built, error) {
+	if opts.Dir != "" {
+		b.invocations.Add(1)
+		return Build(ctx, prog, opts)
+	}
+	r := &batchReq{ctx: ctx, prog: prog, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, r)
+	if !b.draining {
+		b.draining = true
+		go b.drain()
+	}
+	b.mu.Unlock()
+	<-r.done
+	return r.built, r.err
+}
+
+// drain runs build cycles until the queue is empty, then retires; the
+// next Build call starts a fresh drainer.
+func (b *BatchBuilder) drain() {
+	for {
+		b.mu.Lock()
+		batch := b.pending
+		b.pending = nil
+		if len(batch) == 0 {
+			b.draining = false
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		b.buildBatch(batch)
+	}
+}
+
+func (b *BatchBuilder) buildBatch(batch []*batchReq) {
+	if len(batch) == 1 {
+		r := batch[0]
+		b.invocations.Add(1)
+		built, err := Build(r.ctx, r.prog, BuildOptions{})
+		r.settle(built, err)
+		return
+	}
+	b.batched.Add(int64(len(batch)))
+	if err := b.buildShared(batch); err != nil {
+		// The shared build failed (or could not be set up). One bad
+		// program poisons a shared `go build ./...`, so retry every member
+		// individually under its own context; each gets its own error.
+		for _, r := range batch {
+			b.invocations.Add(1)
+			built, err := Build(r.ctx, r.prog, BuildOptions{})
+			r.settle(built, err)
+		}
+	}
+}
+
+// buildShared emits every member into one module and compiles them with
+// a single toolchain invocation. On success every member is settled and
+// the error is nil; a non-nil error means NO member was settled and the
+// caller must fall back.
+func (b *BatchBuilder) buildShared(batch []*batchReq) error {
+	dir, err := os.MkdirTemp("", "oicnative-batch-")
+	if err != nil {
+		return err
+	}
+	cleanupNow := func() { os.RemoveAll(dir) }
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(goModSrc), 0o666); err != nil {
+		cleanupNow()
+		return err
+	}
+	binDir := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(binDir, 0o777); err != nil {
+		cleanupNow()
+		return err
+	}
+	subdirs := make([]string, len(batch))
+	for i, r := range batch {
+		src, err := Emit(r.prog)
+		if err != nil {
+			cleanupNow()
+			return err
+		}
+		sub := "p" + strconv.Itoa(i)
+		subdirs[i] = sub
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
+			cleanupNow()
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, sub, "main.go"), src, 0o666); err != nil {
+			cleanupNow()
+			return err
+		}
+	}
+
+	// The shared build runs under its own context, cancelled only when
+	// every member's context has died — one impatient caller must not
+	// kill the compile its batchmates are still waiting on.
+	buildCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buildDone := make(chan struct{})
+	go func() {
+		for _, r := range batch {
+			select {
+			case <-r.ctx.Done():
+			case <-buildDone:
+				return
+			}
+		}
+		cancel()
+	}()
+
+	start := time.Now()
+	b.invocations.Add(1)
+	cmd := exec.CommandContext(buildCtx, "go", "build", "-buildvcs=false",
+		"-o", binDir+string(os.PathSeparator), "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+	close(buildDone)
+	if runErr != nil {
+		cleanupNow()
+		if buildCtx.Err() != nil {
+			// All members gave up; settle them with their own context
+			// errors rather than retrying builds nobody wants.
+			for _, r := range batch {
+				r.settle(nil, fmt.Errorf("emit: native build canceled: %w", context.Cause(r.ctx)))
+			}
+			return nil
+		}
+		return fmt.Errorf("emit: batched go build failed: %v\n%s", runErr, out.Bytes())
+	}
+	elapsed := time.Since(start).Nanoseconds()
+
+	// The module directory is shared: it disappears when the last member
+	// Closes its Built.
+	var refs atomic.Int32
+	refs.Store(int32(len(batch)))
+	release := func() {
+		if refs.Add(-1) == 0 {
+			os.RemoveAll(dir)
+		}
+	}
+	for i, r := range batch {
+		r.settle(&Built{
+			Dir:        filepath.Join(dir, subdirs[i]),
+			Bin:        filepath.Join(binDir, subdirs[i]),
+			BuildNanos: elapsed,
+			cleanup:    release,
+		}, nil)
+	}
+	return nil
+}

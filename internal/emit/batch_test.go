@@ -1,0 +1,164 @@
+package emit_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"objinline/internal/emit"
+	"objinline/internal/pipeline"
+)
+
+// compileN compiles n distinct tiny programs, each printing a different
+// constant so their outputs are distinguishable.
+func compileN(t *testing.T, n int) []*pipeline.Compiled {
+	t.Helper()
+	out := make([]*pipeline.Compiled, n)
+	for i := range out {
+		src := fmt.Sprintf("func main() { print(%d); }", 1000+i)
+		c, err := pipeline.Compile(fmt.Sprintf("b%d.icc", i), src, pipeline.Config{Mode: pipeline.ModeInline})
+		if err != nil {
+			t.Fatalf("compile %d: %v", i, err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestBatchBuilderCoalesces is the satellite's contract: N concurrent
+// distinct programs must trigger fewer toolchain invocations than N, and
+// every program must still run correctly from its shared-module binary.
+func TestBatchBuilderCoalesces(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	progs := compileN(t, n)
+	b := emit.NewBatchBuilder()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	outs := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, c := range progs {
+		wg.Add(1)
+		go func(i int, c *pipeline.Compiled) {
+			defer wg.Done()
+			built, err := b.Build(ctx, c.Prog, emit.BuildOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer built.Close()
+			var buf bytes.Buffer
+			if _, err := built.Run(ctx, &buf, 1); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = buf.String()
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+	}
+	for i, out := range outs {
+		want := fmt.Sprintf("%d\n", 1000+i)
+		if out != want {
+			t.Errorf("program %d printed %q, want %q", i, out, want)
+		}
+	}
+	if inv := b.ToolchainInvocations(); inv >= n {
+		t.Fatalf("%d concurrent programs took %d toolchain invocations; batching should need fewer", n, inv)
+	}
+}
+
+// TestBatchBuilderSharedDirLifetime: the shared module directory must
+// survive until the LAST member closes, and disappear after.
+func TestBatchBuilderSharedDirLifetime(t *testing.T) {
+	t.Parallel()
+	progs := compileN(t, 3)
+	b := emit.NewBatchBuilder()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	builts := make([]*emit.Built, len(progs))
+	var wg sync.WaitGroup
+	for i, c := range progs {
+		wg.Add(1)
+		go func(i int, c *pipeline.Compiled) {
+			defer wg.Done()
+			built, err := b.Build(ctx, c.Prog, emit.BuildOptions{})
+			if err != nil {
+				t.Errorf("build %d: %v", i, err)
+				return
+			}
+			builts[i] = built
+		}(i, c)
+	}
+	wg.Wait()
+	for _, built := range builts {
+		if built == nil {
+			t.Fatal("a build failed")
+		}
+	}
+	// Close all but one; every binary must still exist (they may share a
+	// module, and a batchmate's Close must not pull it out from under us).
+	for _, built := range builts[:len(builts)-1] {
+		built.Close()
+	}
+	last := builts[len(builts)-1]
+	if _, err := os.Stat(last.Bin); err != nil {
+		t.Fatalf("binary vanished while its Built was still open: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := last.Run(ctx, &buf, 1); err != nil {
+		t.Fatalf("run after batchmates closed: %v", err)
+	}
+	last.Close()
+}
+
+// TestBatchBuilderSequentialUnbatched: with no concurrency each build is
+// its own cycle — exactly one invocation per program, nothing queued.
+func TestBatchBuilderSequentialUnbatched(t *testing.T) {
+	t.Parallel()
+	progs := compileN(t, 2)
+	b := emit.NewBatchBuilder()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	for i, c := range progs {
+		built, err := b.Build(ctx, c.Prog, emit.BuildOptions{})
+		if err != nil {
+			t.Fatalf("build %d: %v", i, err)
+		}
+		built.Close()
+	}
+	if inv := b.ToolchainInvocations(); inv != 2 {
+		t.Fatalf("sequential builds took %d invocations, want 2", inv)
+	}
+	if bp := b.BatchedPrograms(); bp != 0 {
+		t.Fatalf("sequential builds counted %d batched programs, want 0", bp)
+	}
+}
+
+// TestBatchBuilderExplicitDirBypasses: a caller pinning the emit dir gets
+// a standalone module, not a slice of the shared one.
+func TestBatchBuilderExplicitDirBypasses(t *testing.T) {
+	t.Parallel()
+	progs := compileN(t, 1)
+	b := emit.NewBatchBuilder()
+	dir := t.TempDir() + "/kept"
+	built, err := b.Build(context.Background(), progs[0].Prog, emit.BuildOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	built.Close()
+	if _, err := os.Stat(dir + "/main.go"); err != nil {
+		t.Fatalf("explicit dir not kept: %v", err)
+	}
+}

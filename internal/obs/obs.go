@@ -43,6 +43,11 @@ const (
 	// incremental patch (its tier lands on the span as a counter).
 	SpanSession trace.Phase = "session"
 	SpanPatch   trace.Phase = "patch"
+	// SpanForward covers proxying a request to its key's owner instance
+	// on the cluster ring; SpanHedge marks that a hedged read fired to
+	// the next replica while the primary forward was still in flight.
+	SpanForward trace.Phase = "forward"
+	SpanHedge   trace.Phase = "hedge"
 )
 
 // TierCounterPrefix marks span counters that carry cumulative

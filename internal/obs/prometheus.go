@@ -105,25 +105,46 @@ func counterHelp(name string) string {
 }
 
 var counterHelpText = map[string]string{
-	"requests_total":           "HTTP requests received.",
-	"compiles_total":           "Compilations executed (cache misses that ran).",
-	"runs_total":               "VM executions.",
-	"native_runs_total":        "Native build-and-run executions.",
-	"shed_total":               "Requests shed with 429 (worker queue full).",
-	"deadline_exceeded_total":  "Requests canceled by their deadline.",
-	"inflight":                 "Requests currently being served.",
-	"workers_busy":             "Worker-pool tokens currently held.",
-	"queue_depth":              "Requests currently queued for a worker token.",
-	"cache_entries":            "Compile result-cache entries resident.",
-	"cache_hits_total":         "Compile result-cache hits.",
-	"cache_misses_total":       "Compile result-cache misses.",
-	"cache_evictions_total":    "Compile result-cache LRU evictions.",
-	"native_cache_entries":     "Native-run result-cache entries resident.",
-	"native_cache_hits_total":  "Native-run result-cache hits.",
+	"requests_total":            "HTTP requests received.",
+	"compiles_total":            "Compilations executed (cache misses that ran).",
+	"runs_total":                "VM executions.",
+	"native_runs_total":         "Native build-and-run executions.",
+	"shed_total":                "Requests shed with 429 (worker queue full).",
+	"deadline_exceeded_total":   "Requests canceled by their deadline.",
+	"inflight":                  "Requests currently being served.",
+	"workers_busy":              "Worker-pool tokens currently held.",
+	"queue_depth":               "Requests currently queued for a worker token.",
+	"cache_entries":             "Compile result-cache entries resident.",
+	"cache_hits_total":          "Compile result-cache hits.",
+	"cache_misses_total":        "Compile result-cache misses.",
+	"cache_evictions_total":     "Compile result-cache LRU evictions.",
+	"native_cache_entries":      "Native-run result-cache entries resident.",
+	"native_cache_hits_total":   "Native-run result-cache hits.",
 	"native_cache_misses_total": "Native-run result-cache misses.",
-	"sessions_active":          "Incremental sessions resident.",
-	"sessions_created_total":   "Incremental sessions created.",
-	"session_patches_total":    "Session patches absorbed.",
-	"session_evictions_total":  "Sessions evicted by the LRU bound.",
+	"sessions_active":           "Incremental sessions resident.",
+	"sessions_created_total":    "Incremental sessions created.",
+	"session_patches_total":     "Session patches absorbed.",
+	"session_evictions_total":   "Sessions evicted by the LRU bound.",
 	"session_expirations_total": "Sessions expired by the idle TTL.",
+
+	// Cluster tier.
+	"cache_bytes":                    "Compile result-cache resident body bytes.",
+	"native_cache_bytes":             "Native-run result-cache resident body bytes.",
+	"forwards_total":                 "Requests forwarded to the key's ring owner.",
+	"forward_errors_total":           "Forward attempts that failed (network or peer error).",
+	"forward_local_fallback_total":   "Forwards abandoned in favor of local compute.",
+	"hedges_total":                   "Hedged second requests launched after the p95 delay.",
+	"hedge_wins_total":               "Hedged requests that answered before the primary.",
+	"disk_upgrades_total":            "Disk-seeded cache entries recompiled on demand.",
+	"disk_wal_bytes":                 "Persistent cache write-ahead log size on disk.",
+	"disk_snapshot_bytes":            "Persistent cache snapshot size on disk.",
+	"disk_appends_total":             "Records appended to the persistent cache WAL.",
+	"disk_replayed_total":            "Records replayed from disk at boot.",
+	"disk_corrupt_tails_total":       "Corrupt WAL tails detected and truncated.",
+	"disk_compactions_total":         "Persistent cache compactions completed.",
+	"cluster_peers_up":               "Cluster peers currently passing health probes.",
+	"cluster_peers_total":            "Cluster peers configured.",
+	"cluster_transitions_total":      "Cluster peer up/down transitions observed.",
+	"native_batch_invocations_total": "Go toolchain invocations by the native build batcher.",
+	"native_batched_programs_total":  "Programs built through shared batched invocations.",
 }

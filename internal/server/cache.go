@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"net/http"
 	"sync"
 
 	"objinline"
@@ -55,10 +56,22 @@ type entry struct {
 	// profile as state, so profile extraction must not interleave.
 	// Unprofiled runs touch no shared Program state and need no lock.
 	runMu sync.Mutex
+
+	// fromDisk marks an entry seeded from the persistent cache tier: it
+	// holds the response bytes but no *Program (replay works; explain and
+	// run first upgrade it by recompiling — see Server.entryProgram).
+	// progMu serializes that lazy upgrade, and every prog access on a
+	// fromDisk entry goes through it: the entry's done channel closed at
+	// seed time, so the usual done-close happens-before edge does not
+	// cover the later prog write.
+	fromDisk bool
+	progMu   sync.Mutex
 }
 
-// failed reports whether the entry holds diagnostics instead of a program.
-func (e *entry) failed() bool { return e.prog == nil }
+// failed reports whether the entry holds diagnostics instead of a
+// successful compilation. Status, not prog, is the test: a disk-seeded
+// success has no program until first use.
+func (e *entry) failed() bool { return e.status != http.StatusOK }
 
 // cache is the content-addressed result cache: an LRU bound over
 // singleflight entries. Claiming a key either returns the existing entry
@@ -118,6 +131,70 @@ func (c *cache) drop(e *entry) {
 		c.order.Remove(el)
 		delete(c.entries, e.key)
 	}
+}
+
+// seed installs a completed entry replayed from the disk tier: done is
+// already closed, the body replays verbatim, and no program is attached
+// (entryProgram upgrades on demand). A later record for the same key
+// overwrites the earlier one — WAL replay order is oldest-first, so the
+// newest copy wins. Seeding counts as neither hit nor miss and respects
+// the LRU bound like any insert.
+func (c *cache) seed(key string, status int, body []byte) {
+	done := make(chan struct{})
+	close(done)
+	e := &entry{key: key, done: done, status: status, body: body, fromDisk: true}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// live returns the completed entries in LRU order (least recently used
+// first, so disk replay restores recency) — the disk tier's compaction
+// input. In-flight entries are skipped: their result fields are not
+// readable yet.
+func (c *cache) live() []*entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*entry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		select {
+		case <-e.done:
+			out = append(out, e)
+		default:
+		}
+	}
+	return out
+}
+
+// bytesResident sums the cached response bodies, for the cache_bytes
+// gauge. O(entries), bounded by the LRU max; called only from /metrics.
+func (c *cache) bytesResident() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		// Only completed entries: body is written before done closes, so
+		// reading it earlier would race with the leader.
+		select {
+		case <-e.done:
+			n += int64(len(e.body))
+		default:
+		}
+	}
+	return n
 }
 
 // snapshot returns (entries, hits, misses, evictions) for the metrics

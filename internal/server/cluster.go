@@ -1,0 +1,375 @@
+package server
+
+// The server half of the distributed tier (internal/cluster holds the
+// ring, membership, and disk store; this file is where requests meet
+// them):
+//
+//   - forwardIfRemote proxies a request whose content-addressed key is
+//     owned by another instance to that owner, so the owner's in-process
+//     singleflight becomes cluster-wide dedup. The proxied response is
+//     written verbatim — byte-identity holds across front-ends.
+//   - After a p95-derived delay a hedged read fires to the key's next
+//     ring replica; first answer wins and the loser is cancelled. A fired
+//     hedge can duplicate a compile on purpose: tail latency is bought
+//     with bounded extra work (hedges fire on ~5% of forwards by
+//     construction).
+//   - If both owner and hedge replica are unreachable the front-end
+//     compiles locally — the compiler is deterministic, so availability
+//     costs no correctness.
+//   - persist/seed move completed compile envelopes through the WAL-backed
+//     disk store so a restart comes up warm; entryProgram lazily rebuilds
+//     the *Program behind a disk-seeded entry when explain/run need one.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"objinline"
+	"objinline/internal/cluster"
+	"objinline/internal/obs"
+	"objinline/internal/trace"
+)
+
+const (
+	// headerForwarded marks a request already proxied once; its receiver
+	// always serves locally, so forwarding can never loop.
+	headerForwarded = "X-Oicd-Forwarded"
+	// headerOwner names the instance that owns (or served) the request's
+	// key — how operators and the failover smoke test find a key's home.
+	headerOwner = "X-Oicd-Owner"
+	// headerHedge marks a response won by the hedged replica read rather
+	// than the primary forward.
+	headerHedge = "X-Oicd-Hedge"
+)
+
+// hedgeDefaultDelay is the hedge trigger before the forward-latency
+// histogram has enough samples to estimate a p95.
+const hedgeDefaultDelay = 50 * time.Millisecond
+
+// hedgeMinSamples is how many forward latencies must be observed before
+// the p95 estimate replaces the default delay.
+const hedgeMinSamples = 16
+
+// hedgeDelay returns how long the primary forward to an owner runs alone
+// before a hedged read fires to the next replica: the p95 of observed
+// forward latencies for this endpoint, so hedges fire on roughly the
+// slowest 5% of forwards.
+func (s *Server) hedgeDelay(endpoint string) time.Duration {
+	snap := s.fwdLat.Endpoint(endpoint)
+	if snap.Count < hedgeMinSamples {
+		return hedgeDefaultDelay
+	}
+	d := snap.Quantile(0.95)
+	if d <= 0 {
+		return hedgeDefaultDelay
+	}
+	return d
+}
+
+// forwardIfRemote routes a prepared request to its key's owner when that
+// owner is another instance. It returns true when it wrote the response
+// (the request was served remotely) and false when the caller should
+// proceed locally — because clustering is off, this instance owns the
+// key, the request already is a forward, or every remote replica failed
+// (availability fallback: local compile).
+func (s *Server) forwardIfRemote(w http.ResponseWriter, r *http.Request, p *prepared, endpoint string, payload any) bool {
+	if s.cluster == nil {
+		return false
+	}
+	if r.Header.Get(headerForwarded) != "" {
+		// Final hop: we own this key as far as the sender could tell.
+		w.Header().Set(headerOwner, s.cluster.SelfURL())
+		return false
+	}
+	route := s.cluster.RouteKey(p.key)
+	if route.Local {
+		w.Header().Set(headerOwner, s.cluster.SelfURL())
+		return false
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return false // unreachable for the wire structs; compile locally
+	}
+	if s.forward(w, r, p, endpoint, body, route) {
+		return true
+	}
+	// Owner (and hedge replica, if any) unreachable: serve locally so the
+	// cluster degrades to extra work, not errors. The local compile is
+	// deterministic, so the response bytes still match the owner's.
+	s.metrics.forwardFallbacks.Add(1)
+	w.Header().Set(headerOwner, s.cluster.SelfURL())
+	return false
+}
+
+// fwdResult is one forward attempt's outcome.
+type fwdResult struct {
+	resp    *http.Response
+	err     error
+	hedge   bool
+	started time.Time
+}
+
+// forward proxies the request to route.Owner, hedging to the next
+// distinct replica after hedgeDelay. It returns true once a response has
+// been written; false means every attempt failed to produce an HTTP
+// response and the caller should fall back.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, p *prepared, endpoint string, body []byte, route cluster.Route) bool {
+	oreq := obs.FromContext(r.Context())
+	var span trace.Span
+	if oreq != nil {
+		span = oreq.Sink.Start(obs.SpanForward)
+	}
+	defer span.End()
+	s.metrics.forwards.Add(1)
+
+	// Pick the hedge target: the first replica after the owner that is
+	// neither the owner nor this instance.
+	hedgeTarget := ""
+	for _, rep := range route.Replicas[1:] {
+		if rep != route.Owner && rep != s.cluster.SelfURL() {
+			hedgeTarget = rep
+			break
+		}
+	}
+
+	// Both attempts share one cancel scope bounded by the request
+	// deadline; the loser is cancelled as soon as a winner is chosen.
+	ctx, cancel := context.WithCancel(p.ctx)
+	results := make(chan fwdResult, 2) // buffered: attempts never block
+	outstanding := 1
+	go s.attempt(ctx, r, route.Owner, endpoint, body, false, results)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedgeTarget != "" && !s.cfg.DisableHedge {
+		hedgeTimer = time.NewTimer(s.hedgeDelay(endpoint))
+		hedgeC = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+
+	// reap cancels any attempt still in flight and drains its result so
+	// the transport's connection (and the attempt goroutine) is released —
+	// the test suite counts goroutines, and a leaked hedge would fail it.
+	reap := func(n int) {
+		cancel()
+		if n == 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				res := <-results
+				if res.resp != nil {
+					io.Copy(io.Discard, res.resp.Body)
+					res.resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	for {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.err != nil {
+				s.metrics.forwardErrors.Add(1)
+				if outstanding > 0 {
+					continue // the other attempt may still answer
+				}
+				reap(0)
+				return false
+			}
+			// First completed HTTP response wins — the owner's answer is
+			// authoritative whatever its status (a cached 422 is as final
+			// as a 200).
+			s.fwdLat.Observe(obs.Labels{Endpoint: endpoint}, time.Since(res.started))
+			if res.hedge {
+				s.metrics.hedgeWins.Add(1)
+				w.Header().Set(headerHedge, "1")
+				if oreq != nil {
+					oreq.Sink.Start(obs.SpanHedge).End()
+				}
+			}
+			// Stream the winner before cancelling the shared context: the
+			// winner's body read rides the same context, so reaping first
+			// would truncate any response not yet fully buffered.
+			s.writeForwarded(w, res.resp, route.Owner)
+			reap(outstanding)
+			return true
+		case <-hedgeC:
+			hedgeC = nil
+			s.metrics.hedges.Add(1)
+			outstanding++
+			go s.attempt(ctx, r, hedgeTarget, endpoint, body, true, results)
+		case <-p.ctx.Done():
+			// Deadline while forwarding: fall back to the local path, whose
+			// admission check will turn the dead context into the usual 504.
+			reap(outstanding)
+			return false
+		}
+	}
+}
+
+// attempt runs one proxied request and delivers its outcome. The results
+// channel is buffered for every attempt, so this never blocks after the
+// caller has moved on.
+func (s *Server) attempt(ctx context.Context, src *http.Request, target, endpoint string, body []byte, hedge bool, results chan<- fwdResult) {
+	started := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+endpoint, bytes.NewReader(body))
+	if err != nil {
+		results <- fwdResult{err: err, hedge: hedge, started: started}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerForwarded, "1")
+	if id := src.Header.Get(obs.RequestIDHeader); id != "" {
+		// Propagate the caller's request id so the owner's trace ring and
+		// access log correlate with this front-end's.
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	resp, err := s.cluster.Client().Do(req)
+	results <- fwdResult{resp: resp, err: err, hedge: hedge, started: started}
+}
+
+// writeForwarded proxies the winning response to the client verbatim:
+// same status, same body bytes (byte-identity across front-ends), and
+// the response headers a client of this instance would rely on.
+func (s *Server) writeForwarded(w http.ResponseWriter, resp *http.Response, owner string) {
+	defer resp.Body.Close()
+	for _, h := range []string{
+		"Content-Type", "Content-Length", "Retry-After",
+		"X-Oicd-Cache", "X-Oicd-Cache-Key", "X-Oicd-Run-Cache", "X-Oicd-Engine",
+	} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if v := resp.Header.Get(headerOwner); v != "" {
+		w.Header().Set(headerOwner, v)
+	} else {
+		w.Header().Set(headerOwner, owner)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// persist appends a freshly completed compile entry to the disk tier.
+// Only settled compile results go to disk: 200s and deterministic 422s.
+// Transient statuses (shed 429s, deadline 504s) are never persisted —
+// replaying those after a restart would be serving yesterday's overload.
+func (s *Server) persist(e *entry) {
+	if s.disk == nil {
+		return
+	}
+	if e.status != http.StatusOK && e.status != http.StatusUnprocessableEntity {
+		return
+	}
+	compact, err := s.disk.Append(cluster.Record{Key: e.key, Status: e.status, Body: e.body})
+	if err != nil {
+		s.diskLog().Warn("oicd: disk cache append failed", "err", err)
+		return
+	}
+	if compact {
+		s.scheduleCompact()
+	}
+}
+
+// scheduleCompact starts one background compaction unless one is already
+// running. Compaction rewrites the snapshot from the in-memory LRU's
+// live set, so the disk tier inherits the memory tier's size bound.
+func (s *Server) scheduleCompact() {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		s.compactDisk()
+	}()
+}
+
+// compactDisk rewrites the disk tier's snapshot from the current cache
+// contents. Entries appended after the live set was captured stay in
+// memory and re-persist at the next compaction (the disk tier is a
+// cache, not a log of record).
+func (s *Server) compactDisk() {
+	if s.disk == nil {
+		return
+	}
+	live := s.results.live()
+	recs := make([]cluster.Record, 0, len(live))
+	for _, e := range live {
+		if e.status == http.StatusOK || e.status == http.StatusUnprocessableEntity {
+			recs = append(recs, cluster.Record{Key: e.key, Status: e.status, Body: e.body})
+		}
+	}
+	if err := s.disk.Compact(recs); err != nil {
+		s.diskLog().Warn("oicd: disk cache compaction failed", "err", err)
+	}
+}
+
+// seedFromDisk replays the disk store's recovered records into the
+// result cache, so the instance answers warm from its first request.
+// Seeded entries replay their envelopes byte-identically; explain/run
+// recompile behind them on demand (entryProgram).
+func (s *Server) seedFromDisk() {
+	if s.disk == nil {
+		return
+	}
+	for _, rec := range s.disk.Replay() {
+		s.results.seed(rec.Key, rec.Status, rec.Body)
+	}
+}
+
+func (s *Server) diskLog() *slog.Logger {
+	if s.cfg.AccessLog != nil {
+		return s.cfg.AccessLog
+	}
+	return slog.Default()
+}
+
+// entryProgram returns the compiled program behind a completed cache
+// entry, rebuilding it for disk-seeded entries: the disk tier persists
+// response bytes, not compiler state, so the first explain/run against a
+// replayed key recompiles once (under a worker token) and caches the
+// program on the entry. Returns ok=false after writing an error
+// response. The caller must know e succeeded (!e.failed()).
+func (s *Server) entryProgram(w http.ResponseWriter, p *prepared, e *entry) (*objinline.Program, bool) {
+	if !e.fromDisk {
+		return e.prog, true
+	}
+	// progMu serializes the upgrade AND orders this read against a
+	// concurrent upgrade's write (done closed at seed time, so the usual
+	// happens-before edge is long gone).
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	if e.prog != nil {
+		return e.prog, true
+	}
+	if err := s.acquire(p.ctx); err != nil {
+		s.writeAdmissionError(w, err)
+		return nil, false
+	}
+	defer s.release()
+	s.metrics.diskUpgrades.Add(1)
+	prog, err := objinline.CompileContext(p.ctx, p.filename, p.source, p.cfg)
+	if err != nil {
+		// The persisted status was 200, so the source compiles; this is a
+		// deadline (or a config/version skew so deep the replayed entry is
+		// lies — surface it rather than guessing).
+		s.writeCompileError(w, p.filename, err)
+		return nil, false
+	}
+	e.prog = prog
+	e.stats = prog.CompileStats()
+	return prog, true
+}
+
+// retryAfterSeconds renders the queue-depth-derived Retry-After value.
+func (s *Server) retryAfterSeconds() string {
+	return fmt.Sprintf("%d", s.svcRate.retryAfter(s.queued.Load()))
+}

@@ -169,7 +169,12 @@ func (s *Server) ensureCompiled(w http.ResponseWriter, r *http.Request, p *prepa
 // errors are deterministic and stay cached; a deadline-canceled compile
 // is dropped from the cache so the key can be retried.
 func (s *Server) compileInto(ctx context.Context, e *entry, p *prepared) {
-	defer close(e.done)
+	// Settled results flow to the disk tier once the entry is readable;
+	// persist ignores the transient statuses (dropped entries included).
+	defer func() {
+		close(e.done)
+		s.persist(e)
+	}()
 	s.metrics.compiles.Add(1)
 	// The compilation traces into its own sink — the envelope's
 	// CompileStats must carry compiler phases only — and the phase spans
@@ -223,6 +228,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer p.cancel()
+	if s.forwardIfRemote(w, r, &p, "/v1/compile", &req) {
+		return
+	}
 	e, ok := s.ensureCompiled(w, r, &p)
 	if !ok {
 		return
@@ -244,6 +252,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer p.cancel()
+	if s.forwardIfRemote(w, r, &p, "/v1/explain", &req) {
+		return
+	}
 	e, ok := s.ensureCompiled(w, r, &p)
 	if !ok {
 		return
@@ -252,14 +263,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.replay(w, e)
 		return
 	}
-	d, err := e.prog.Explain(req.Field)
+	prog, ok := s.entryProgram(w, &p, e)
+	if !ok {
+		return
+	}
+	d, err := prog.Explain(req.Field)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, api.CodeUnknownField, err.Error())
 		return
 	}
 	s.writeEnvelope(w, http.StatusOK, api.Envelope{
 		File:    p.filename,
-		Mode:    e.prog.Mode().String(),
+		Mode:    prog.Mode().String(),
 		Explain: &d,
 	})
 }
@@ -284,6 +299,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer p.cancel()
+	if s.forwardIfRemote(w, r, &p, "/v1/run", &req) {
+		return
+	}
 	e, ok := s.ensureCompiled(w, r, &p)
 	if !ok {
 		return
@@ -292,13 +310,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.replay(w, e)
 		return
 	}
+	prog, ok := s.entryProgram(w, &p, e)
+	if !ok {
+		return
+	}
 	oreq := obs.FromContext(r.Context())
 	if engine == objinline.EngineNative {
 		w.Header().Set("X-Oicd-Engine", objinline.EngineNative.String())
 		if oreq != nil {
 			oreq.Engine = objinline.EngineNative.String()
 		}
-		s.runNative(w, r, &p, e, &req)
+		s.runNative(w, r, &p, prog, &req)
 		return
 	}
 	w.Header().Set("X-Oicd-Engine", objinline.EngineVM.String())
@@ -341,13 +363,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Profiled runs read their attribution back off the Program, so
 		// they are serialized per entry.
 		e.runMu.Lock()
-		m, err = e.prog.RunContext(p.ctx, ro)
+		m, err = prog.RunContext(p.ctx, ro)
 		if err == nil {
-			profile = e.prog.Profile()
+			profile = prog.Profile()
 		}
 		e.runMu.Unlock()
 	} else {
-		m, err = e.prog.RunContext(p.ctx, ro)
+		m, err = prog.RunContext(p.ctx, ro)
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -360,7 +382,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	env := api.Envelope{
 		File:    p.filename,
-		Mode:    e.prog.Mode().String(),
+		Mode:    prog.Mode().String(),
 		Engine:  objinline.EngineVM.String(),
 		Metrics: &m,
 		Profile: profile,
@@ -379,7 +401,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // compilations — concurrent identical requests coalesce onto one build,
 // and a warm request replays the original execution's envelope (its
 // measurements included) byte for byte.
-func (s *Server) runNative(w http.ResponseWriter, r *http.Request, p *prepared, ce *entry, req *api.RunRequest) {
+func (s *Server) runNative(w http.ResponseWriter, r *http.Request, p *prepared, prog *objinline.Program, req *api.RunRequest) {
 	reps := req.NativeReps
 	if reps < 1 {
 		reps = 1
@@ -427,7 +449,7 @@ func (s *Server) runNative(w http.ResponseWriter, r *http.Request, p *prepared, 
 	// the deadline cancels it.
 	ctx, cancel := context.WithDeadline(context.WithoutCancel(r.Context()), p.deadline)
 	defer cancel()
-	s.nativeRunInto(ctx, e, ce, p, req, reps)
+	s.nativeRunInto(ctx, e, prog, p, req, reps)
 	s.replay(w, e)
 }
 
@@ -435,12 +457,15 @@ func (s *Server) runNative(w http.ResponseWriter, r *http.Request, p *prepared, 
 // Program traps are deterministic and stay cached (like compile errors);
 // deadline cancellations and toolchain failures are dropped so the key
 // can be retried.
-func (s *Server) nativeRunInto(ctx context.Context, e, ce *entry, p *prepared, req *api.RunRequest, reps int) {
+func (s *Server) nativeRunInto(ctx context.Context, e *entry, prog *objinline.Program, p *prepared, req *api.RunRequest, reps int) {
 	defer close(e.done)
 	out := capWriter{max: s.cfg.MaxOutputBytes}
 	ro := objinline.RunOptions{
 		Engine:     objinline.EngineNative,
 		NativeReps: reps,
+		// Concurrent native misses coalesce their go-build invocations
+		// through the server's shared batcher.
+		NativeBatcher: s.batcher,
 	}
 	if req.IncludeOutput {
 		ro.Output = &out
@@ -451,7 +476,7 @@ func (s *Server) nativeRunInto(ctx context.Context, e, ce *entry, p *prepared, r
 	if oreq := obs.FromContext(ctx); oreq != nil {
 		span = oreq.Sink.Start(obs.SpanNative)
 	}
-	res, err := ce.prog.Execute(ctx, ro)
+	res, err := prog.Execute(ctx, ro)
 	span.End()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -486,7 +511,7 @@ func (s *Server) nativeRunInto(ctx context.Context, e, ce *entry, p *prepared, r
 	}
 	env := api.Envelope{
 		File:   p.filename,
-		Mode:   ce.prog.Mode().String(),
+		Mode:   prog.Mode().String(),
 		Engine: objinline.EngineNative.String(),
 		Native: res.Native,
 	}
@@ -576,7 +601,7 @@ func (s *Server) writeEnvelope(w http.ResponseWriter, status int, env api.Envelo
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
 	e := &api.Error{Code: code, Message: msg}
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		e.QueueDepth = s.queued.Load()
 	}
 	s.writeEnvelope(w, status, api.Envelope{Error: e})
@@ -595,7 +620,7 @@ func (s *Server) overloadedError(err error) *api.Error {
 // replay writes a cache entry's stored response verbatim.
 func (s *Server) replay(w http.ResponseWriter, e *entry) {
 	if e.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(e.body)))

@@ -22,6 +22,14 @@ type metrics struct {
 	shed             expvar.Int // shed_total: requests rejected with 429
 	deadlineExceeded expvar.Int // deadline_exceeded_total: requests that hit their deadline
 	inflight         expvar.Int // gauge: requests currently being served
+
+	// Cluster tier.
+	forwards         expvar.Int // forwards_total: requests forwarded to the key's owner
+	forwardErrors    expvar.Int // forward_errors_total: forward attempts that failed
+	forwardFallbacks expvar.Int // forward_local_fallback_total: forwards abandoned for local compute
+	hedges           expvar.Int // hedges_total: hedged second requests launched
+	hedgeWins        expvar.Int // hedge_wins_total: hedges that answered first
+	diskUpgrades     expvar.Int // disk_upgrades_total: disk-seeded entries recompiled on demand
 }
 
 func newMetrics(s *Server) *metrics {
@@ -33,6 +41,12 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("shed_total", &m.shed)
 	m.vars.Set("deadline_exceeded_total", &m.deadlineExceeded)
 	m.vars.Set("inflight", &m.inflight)
+	m.vars.Set("forwards_total", &m.forwards)
+	m.vars.Set("forward_errors_total", &m.forwardErrors)
+	m.vars.Set("forward_local_fallback_total", &m.forwardFallbacks)
+	m.vars.Set("hedges_total", &m.hedges)
+	m.vars.Set("hedge_wins_total", &m.hedgeWins)
+	m.vars.Set("disk_upgrades_total", &m.diskUpgrades)
 	m.vars.Set("workers_busy", expvar.Func(func() any { return len(s.workers) }))
 	m.vars.Set("queue_depth", expvar.Func(func() any { return s.queued.Load() }))
 	m.vars.Set("cache_entries", expvar.Func(func() any {
@@ -62,6 +76,63 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("native_cache_misses_total", expvar.Func(func() any {
 		_, _, misses, _ := s.nativeRuns.snapshot()
 		return misses
+	}))
+	// Resident body bytes per cache: the occupancy signal behind the
+	// entry-count gauges. O(entries) per scrape, bounded by the LRU max.
+	m.vars.Set("cache_bytes", expvar.Func(func() any { return s.results.bytesResident() }))
+	m.vars.Set("native_cache_bytes", expvar.Func(func() any { return s.nativeRuns.bytesResident() }))
+	// Disk tier sizes and lifetime counters. Registered unconditionally so
+	// the exposition shape does not depend on configuration; all zeros when
+	// the server runs without a cache dir.
+	diskStats := func() (st struct {
+		WALBytes, SnapshotBytes, Appends, Replayed, CorruptTails, Compactions int64
+	}) {
+		if s.disk == nil {
+			return st
+		}
+		d := s.disk.Stats()
+		st.WALBytes, st.SnapshotBytes = d.WALBytes, d.SnapshotBytes
+		st.Appends, st.Replayed = d.Appends, d.Replayed
+		st.CorruptTails, st.Compactions = d.CorruptTails, d.Compactions
+		return st
+	}
+	m.vars.Set("disk_wal_bytes", expvar.Func(func() any { return diskStats().WALBytes }))
+	m.vars.Set("disk_snapshot_bytes", expvar.Func(func() any { return diskStats().SnapshotBytes }))
+	m.vars.Set("disk_appends_total", expvar.Func(func() any { return diskStats().Appends }))
+	m.vars.Set("disk_replayed_total", expvar.Func(func() any { return diskStats().Replayed }))
+	m.vars.Set("disk_corrupt_tails_total", expvar.Func(func() any { return diskStats().CorruptTails }))
+	m.vars.Set("disk_compactions_total", expvar.Func(func() any { return diskStats().Compactions }))
+	m.vars.Set("cluster_peers_up", expvar.Func(func() any {
+		if s.cluster == nil {
+			return 0
+		}
+		up, _ := s.cluster.PeersUp()
+		return up
+	}))
+	m.vars.Set("cluster_peers_total", expvar.Func(func() any {
+		if s.cluster == nil {
+			return 0
+		}
+		_, total := s.cluster.PeersUp()
+		return total
+	}))
+	m.vars.Set("cluster_transitions_total", expvar.Func(func() any {
+		if s.cluster == nil {
+			return int64(0)
+		}
+		return s.cluster.Transitions()
+	}))
+	m.vars.Set("native_batch_invocations_total", expvar.Func(func() any {
+		if s.batcher == nil {
+			return int64(0)
+		}
+		return s.batcher.ToolchainInvocations()
+	}))
+	m.vars.Set("native_batched_programs_total", expvar.Func(func() any {
+		if s.batcher == nil {
+			return int64(0)
+		}
+		return s.batcher.BatchedPrograms()
 	}))
 	m.vars.Set("sessions_active", expvar.Func(func() any {
 		n, _, _, _, _, _ := s.sessions.snapshot()
@@ -138,8 +209,14 @@ var promGauges = map[string]bool{
 	"workers_busy":         true,
 	"queue_depth":          true,
 	"cache_entries":        true,
+	"cache_bytes":          true,
 	"native_cache_entries": true,
+	"native_cache_bytes":   true,
 	"sessions_active":      true,
+	"disk_wal_bytes":       true,
+	"disk_snapshot_bytes":  true,
+	"cluster_peers_up":     true,
+	"cluster_peers_total":  true,
 }
 
 // promCounters snapshots the flat expvar counters for the Prometheus

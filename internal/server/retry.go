@@ -1,0 +1,103 @@
+package server
+
+// Queue-depth-derived Retry-After. A constant "1" tells a shedding
+// client nothing; the admission pool already knows its recent service
+// rate, and (queued work) / (service rate) is the expected drain time.
+// The estimator keeps a ring of per-second completion counts — release()
+// records into it on every worker-token return — and retryAfter divides
+// the queue ahead of the client by the observed rate.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateWindowSecs is how many one-second buckets the completion ring
+// keeps. Long enough to smooth bursts, short enough that the estimate
+// tracks a load shift within seconds.
+const rateWindowSecs = 16
+
+// retryAfterMax clamps the advertised backoff: past a minute the figure
+// is guesswork and clients should re-probe rather than sleep.
+const retryAfterMax = 60
+
+// rateEstimator measures recent request-completion throughput. Safe for
+// concurrent use; record is a few arithmetic ops under one mutex.
+type rateEstimator struct {
+	mu  sync.Mutex
+	now func() time.Time // injectable for tests
+
+	counts   [rateWindowSecs]int64 // completions per second, ring-indexed
+	secs     [rateWindowSecs]int64 // which unix second each slot holds
+	firstSec int64                 // unix second of the first record; 0 = none yet
+}
+
+func newRateEstimator() *rateEstimator {
+	return &rateEstimator{now: time.Now}
+}
+
+// record counts one completed unit of work (a released worker token).
+func (re *rateEstimator) record() {
+	sec := re.now().Unix()
+	i := sec % rateWindowSecs
+	re.mu.Lock()
+	if re.firstSec == 0 {
+		re.firstSec = sec
+	}
+	if re.secs[i] != sec {
+		re.secs[i] = sec
+		re.counts[i] = 0
+	}
+	re.counts[i]++
+	re.mu.Unlock()
+}
+
+// rate returns completions per second over the window, counting only
+// FULL seconds — the current second is still accumulating and would bias
+// the rate downward. Returns 0 when the window holds no finished second.
+func (re *rateEstimator) rate() float64 {
+	sec := re.now().Unix()
+	re.mu.Lock()
+	defer re.mu.Unlock()
+	if re.firstSec == 0 || re.firstSec >= sec {
+		return 0 // nothing observed over a full second yet
+	}
+	var total int64
+	for i := range re.counts {
+		s := re.secs[i]
+		// A slot counts if it belongs to the current window and is not
+		// the still-accumulating in-progress second.
+		if s != 0 && s != sec && s > sec-rateWindowSecs {
+			total += re.counts[i]
+		}
+	}
+	// Divide by elapsed full seconds (capped at the window), not by
+	// non-empty slots: an idle second is a real zero, and ignoring it
+	// would overstate the rate exactly when the server is struggling.
+	span := sec - re.firstSec
+	if span > rateWindowSecs-1 {
+		span = rateWindowSecs - 1
+	}
+	return float64(total) / float64(span)
+}
+
+// retryAfter estimates, in whole seconds, how long until the admission
+// queue ahead of a newly shed request would drain: (queued+1) work units
+// at the recent service rate, clamped to [1, retryAfterMax]. With no
+// rate data it returns 1 — the old constant — so a cold server never
+// tells its first clients to back off for a minute.
+func (re *rateEstimator) retryAfter(queued int64) int {
+	r := re.rate()
+	if r <= 0 {
+		return 1
+	}
+	est := int(math.Ceil(float64(queued+1) / r))
+	if est < 1 {
+		est = 1
+	}
+	if est > retryAfterMax {
+		est = retryAfterMax
+	}
+	return est
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a rateEstimator through synthetic seconds.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestEstimator() (*rateEstimator, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	re := newRateEstimator()
+	re.now = clk.now
+	return re, clk
+}
+
+func TestRetryAfterColdServer(t *testing.T) {
+	re, _ := newTestEstimator()
+	// No completions ever: fall back to the old constant, never a long
+	// backoff computed from zero data.
+	if got := re.retryAfter(100); got != 1 {
+		t.Fatalf("cold retryAfter = %d, want 1", got)
+	}
+}
+
+func TestRetryAfterTracksServiceRate(t *testing.T) {
+	re, clk := newTestEstimator()
+	// 10 completions/sec for 5 full seconds.
+	for s := 0; s < 5; s++ {
+		for i := 0; i < 10; i++ {
+			re.record()
+		}
+		clk.advance(time.Second)
+	}
+	// 19 queued ahead + this request = 20 units at 10/s → 2 seconds.
+	if got := re.retryAfter(19); got != 2 {
+		t.Fatalf("retryAfter(19) at 10/s = %d, want 2", got)
+	}
+	// A short queue rounds up to at least 1.
+	if got := re.retryAfter(0); got != 1 {
+		t.Fatalf("retryAfter(0) = %d, want 1", got)
+	}
+}
+
+func TestRetryAfterIgnoresCurrentPartialSecond(t *testing.T) {
+	re, clk := newTestEstimator()
+	for i := 0; i < 10; i++ {
+		re.record()
+	}
+	clk.advance(time.Second)
+	// One burst just landed in the now-current second; only the full
+	// second before it should count.
+	for i := 0; i < 1000; i++ {
+		re.record()
+	}
+	if got := re.retryAfter(19); got != 2 {
+		t.Fatalf("retryAfter with partial-second burst = %d, want 2 (10/s over the full second)", got)
+	}
+}
+
+func TestRetryAfterCountsIdleSeconds(t *testing.T) {
+	re, clk := newTestEstimator()
+	// One completion, then 9 idle seconds: the rate is 1/10 per second,
+	// not 1 per second — idle time is signal when the server is stuck.
+	re.record()
+	clk.advance(10 * time.Second)
+	re.record() // current partial second; excluded from the rate
+	got := re.retryAfter(0)
+	if got < 5 {
+		t.Fatalf("retryAfter after idle stretch = %d, want >= 5 (idle seconds must dilute the rate)", got)
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	re, clk := newTestEstimator()
+	re.record()
+	clk.advance(time.Second)
+	// 1/s rate with 10k queued would be hours; the clamp caps it.
+	if got := re.retryAfter(10_000); got != retryAfterMax {
+		t.Fatalf("retryAfter(10000) = %d, want clamp %d", got, retryAfterMax)
+	}
+}
+
+func TestRetryAfterWindowExpiry(t *testing.T) {
+	re, clk := newTestEstimator()
+	for i := 0; i < 100; i++ {
+		re.record()
+	}
+	// Far in the future every old bucket is stale; back to the default.
+	clk.advance(time.Duration(rateWindowSecs+5) * time.Second)
+	if got := re.retryAfter(50); got != 1 {
+		t.Fatalf("retryAfter after window expiry = %d, want 1", got)
+	}
+}

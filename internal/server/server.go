@@ -48,6 +48,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"objinline"
+	"objinline/internal/cluster"
 	"objinline/internal/obs"
 	"objinline/internal/trace"
 )
@@ -103,6 +105,21 @@ type Config struct {
 	// duration, bytes) at Info level. nil disables access logging; the
 	// disabled path costs one nil check and zero allocations.
 	AccessLog *slog.Logger
+	// Cluster, when non-nil, puts this instance on a consistent-hash ring:
+	// compile/explain/run requests whose content-addressed key another
+	// instance owns are forwarded there (with hedged reads), so the
+	// owner's in-process singleflight dedups compiles cluster-wide. The
+	// caller owns the Cluster's lifecycle (Start before serving, Close
+	// after). See docs/CLUSTER.md.
+	Cluster *cluster.Cluster
+	// Disk, when non-nil, is the persistent cache tier: completed compile
+	// envelopes are appended to its WAL, and its replayed records seed the
+	// result cache at New so a restart comes up warm. The caller opens the
+	// store; Close compacts and closes it.
+	Disk *cluster.Store
+	// DisableHedge turns off hedged reads on forwards (for benchmarks
+	// isolating the hedging policy; default off = hedging on).
+	DisableHedge bool
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +188,21 @@ type Server struct {
 	// cfg.QueueDepth, acquire sheds instead of queueing.
 	workers chan struct{}
 	queued  atomic.Int64
+
+	// svcRate tracks recent completion throughput; 429 responses derive
+	// their Retry-After from it (queue depth / service rate).
+	svcRate *rateEstimator
+
+	// Distributed tier (all nil/zero on a standalone instance): cluster
+	// routes keys to owners, disk is the WAL-backed warm cache, fwdLat
+	// feeds the hedge delay with observed forward latencies, compacting
+	// guards the single background compaction, batcher coalesces
+	// concurrent native builds into one toolchain invocation.
+	cluster    *cluster.Cluster
+	disk       *cluster.Store
+	fwdLat     *obs.HistogramVec
+	compacting atomic.Bool
+	batcher    *objinline.NativeBatcher
 }
 
 // New builds a server with cfg (zero values defaulted).
@@ -184,7 +216,13 @@ func New(cfg Config) *Server {
 		workers:    make(chan struct{}, cfg.PoolSize),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
+		svcRate:    newRateEstimator(),
+		cluster:    cfg.Cluster,
+		disk:       cfg.Disk,
+		fwdLat:     obs.NewHistogramVec(),
+		batcher:    objinline.NewNativeBatcher(),
 	}
+	s.seedFromDisk()
 	s.obs = obs.New(obs.Options{RingEntries: cfg.RequestRingEntries, Logger: cfg.AccessLog})
 	s.metrics = newMetrics(s)
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
@@ -212,10 +250,18 @@ func (s *Server) DebugHandler() http.Handler { return s.obs.DebugHandler() }
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Close releases everything the server pins beyond in-flight requests —
-// today, the incremental sessions and their compiled programs. Call it
-// after http.Server.Shutdown has drained; the handler itself keeps
-// working (patches to released sessions get 404).
-func (s *Server) Close() { s.sessions.purge() }
+// the incremental sessions and their compiled programs — and, when a
+// disk tier is attached, compacts it so the next boot replays one dense
+// snapshot instead of the whole WAL. Call it after http.Server.Shutdown
+// has drained; the handler itself keeps working (patches to released
+// sessions get 404). The disk store itself stays open for the caller to
+// Close (it owns the store's lifecycle, as with Config.Cluster).
+func (s *Server) Close() {
+	s.sessions.purge()
+	if s.disk != nil {
+		s.compactDisk()
+	}
+}
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
@@ -270,4 +316,9 @@ func (s *Server) acquire(ctx context.Context) error {
 	}
 }
 
-func (s *Server) release() { <-s.workers }
+// release returns the worker token and counts the completion into the
+// service-rate estimator that prices Retry-After.
+func (s *Server) release() {
+	<-s.workers
+	s.svcRate.record()
+}
